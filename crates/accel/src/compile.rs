@@ -1,0 +1,416 @@
+//! Lowering homomorphic operations to functional-unit work.
+//!
+//! Cost structure follows the paper's analysis (Sec. 4.2–4.3): with `R`
+//! residues, `k` special primes (`E = R + k` extended basis), and `D`
+//! keyswitching digits, a homomorphic multiply performs `O(R·E)` polynomial
+//! multiply-accumulates on the CRB, `O(D·E)` NTTs, and `O(R)` elementwise
+//! operations; `scaleDown` by `s` moduli costs `2·s·(R−s)` residue-poly
+//! multiplies, handled by the CRB so shedding several moduli at once is
+//! almost as fast as shedding one (the key to BitPacker's cheap level
+//! management).
+
+/// Execution context shared by every op of a trace: ring degree,
+/// keyswitching digits, and special-prime count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Ring degree `N` (65,536 in the paper's evaluation).
+    pub n: usize,
+    /// Keyswitching digits `dnum`.
+    pub dnum: usize,
+    /// Number of special primes `k` (the mod-down basis).
+    pub special: usize,
+}
+
+/// One homomorphic operation with the residue counts that determine its
+/// cost. The counts come from the scheme's modulus chain — this is exactly
+/// where BitPacker and RNS-CKKS diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FheOp {
+    /// Elementwise ciphertext addition at `r` residues.
+    HAdd {
+        /// Residues per polynomial.
+        r: usize,
+    },
+    /// Ciphertext–ciphertext multiply (tensor + relinearization keyswitch).
+    HMult {
+        /// Residues per polynomial.
+        r: usize,
+    },
+    /// Slot rotation (automorphism + keyswitch); costs nearly the same as
+    /// a multiply (paper Sec. 4.2).
+    HRotate {
+        /// Residues per polynomial.
+        r: usize,
+    },
+    /// Ciphertext × plaintext multiply (no keyswitch).
+    PMult {
+        /// Residues per polynomial.
+        r: usize,
+    },
+    /// Rescale from a level with `r` residues, shedding `shed` moduli and
+    /// (BitPacker only) first scaling up by `added` new moduli.
+    Rescale {
+        /// Residues before the rescale.
+        r: usize,
+        /// Moduli shed (`M_L \ M_{L−1}`).
+        shed: usize,
+        /// Moduli introduced (`M_{L−1} \ M_L`); 0 for RNS-CKKS.
+        added: usize,
+        /// RNS-CKKS sheds sequentially (Listing 1 per prime); BitPacker
+        /// batches all sheds in one CRB pass (Listing 5).
+        batched: bool,
+    },
+    /// Adjust (scale fix-up multiply + rescale; Listings 2 and 6).
+    Adjust {
+        /// Residues before the adjust.
+        r: usize,
+        /// Moduli shed.
+        shed: usize,
+        /// Moduli introduced; 0 for RNS-CKKS.
+        added: usize,
+        /// Batched shedding (BitPacker) vs sequential (RNS-CKKS).
+        batched: bool,
+    },
+}
+
+/// Category for energy/time breakdowns (paper Fig. 12 reports level
+/// management separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpCategory {
+    /// Rescale/adjust operations.
+    LevelMgmt,
+    /// Everything else (multiplies, rotates, adds).
+    Other,
+}
+
+impl FheOp {
+    /// The breakdown category of this op.
+    pub fn category(&self) -> OpCategory {
+        match self {
+            FheOp::Rescale { .. } | FheOp::Adjust { .. } => OpCategory::LevelMgmt,
+            _ => OpCategory::Other,
+        }
+    }
+
+    /// Residues of the op's operands (drives memory traffic).
+    pub fn residues(&self) -> usize {
+        match *self {
+            FheOp::HAdd { r }
+            | FheOp::HMult { r }
+            | FheOp::HRotate { r }
+            | FheOp::PMult { r }
+            | FheOp::Rescale { r, .. }
+            | FheOp::Adjust { r, .. } => r,
+        }
+    }
+}
+
+/// Work vector: element-operations per FU class plus DRAM traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Work {
+    /// Elementwise modular multiplies.
+    pub mul_elems: f64,
+    /// Elementwise modular adds.
+    pub add_elems: f64,
+    /// Number of `N`-point NTT/INTT passes.
+    pub ntt_count: f64,
+    /// Automorphism (permutation) elements.
+    pub autom_elems: f64,
+    /// CRB multiply-accumulates.
+    pub crb_macs: f64,
+    /// KSHGen elements (keyswitch-hint regeneration).
+    pub kshgen_elems: f64,
+    /// DRAM bytes moved (ciphertext streaming; hints are free with
+    /// KSHGen).
+    pub dram_bytes: f64,
+}
+
+impl Work {
+    /// Componentwise sum.
+    pub fn add(&mut self, o: &Work) {
+        self.mul_elems += o.mul_elems;
+        self.add_elems += o.add_elems;
+        self.ntt_count += o.ntt_count;
+        self.autom_elems += o.autom_elems;
+        self.crb_macs += o.crb_macs;
+        self.kshgen_elems += o.kshgen_elems;
+        self.dram_bytes += o.dram_bytes;
+    }
+
+    /// Componentwise scale (e.g. an op repeated `k` times).
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> Work {
+        Work {
+            mul_elems: self.mul_elems * k,
+            add_elems: self.add_elems * k,
+            ntt_count: self.ntt_count * k,
+            autom_elems: self.autom_elems * k,
+            crb_macs: self.crb_macs * k,
+            kshgen_elems: self.kshgen_elems * k,
+            dram_bytes: self.dram_bytes * k,
+        }
+    }
+}
+
+/// Keyswitch work for a polynomial at `r` residues (used by multiply and
+/// rotate): per-digit mod-up CRB conversion, key inner product, and the
+/// final mod-down by the special primes.
+fn keyswitch_work(r: usize, ctx: &TraceContext, word_bytes: f64, kshgen: bool) -> Work {
+    let n = ctx.n as f64;
+    let k = ctx.special as f64;
+    let rf = r as f64;
+    let e = rf + k;
+    let d = ctx.dnum.min(r) as f64; // effective digits
+    let digit = rf / d; // avg residues per digit
+
+    let mut w = Work::default();
+    // Mod-up: per digit, convert `digit` residues into the other e - digit.
+    w.crb_macs += d * digit * (e - digit) * n;
+    w.ntt_count += d * e; // INTT sources + NTT outputs per digit
+    // Inner product with the keyswitch key: 2 polynomials over E residues
+    // per digit. The CRB encapsulates these multiply-accumulates (paper
+    // Sec. 4.2: "the CRB unit encapsulates most multiplies and adds").
+    w.crb_macs += 2.0 * d * e * n;
+    // Mod-down by the special primes, both output polynomials.
+    w.crb_macs += 2.0 * k * rf * n;
+    w.ntt_count += 2.0 * (k + rf);
+    w.mul_elems += 2.0 * rf * n; // × P^{-1}
+    w.add_elems += 2.0 * rf * n;
+    // Keyswitch hints are 2·D·E residue polys, but they are generated (or
+    // fetched) once and reused across the many ops sharing a key and level,
+    // so the amortized per-op cost divides by the same reuse factor as
+    // ciphertext streaming.
+    if kshgen {
+        w.kshgen_elems += 2.0 * d * e * n / CT_REUSE;
+    } else {
+        w.dram_bytes += 2.0 * d * e * n * word_bytes / CT_REUSE;
+    }
+    w
+}
+
+/// Scale-down work: shed `s` of `r_ext` residues in one batched CRB pass
+/// (paper Listing 5: `2·s·(r_ext−s)` residue-poly multiplies per
+/// ciphertext polynomial pair).
+fn scale_down_work(r_ext: usize, s: usize, n: f64) -> Work {
+    let (rf, sf) = (r_ext as f64, s as f64);
+    let kept = rf - sf;
+    let mut w = Work::default();
+    // The P⁻¹ scaling and the subtraction fold into the CRB pass's
+    // precomputed constants (paper Listing 5 / Sec. 4.3: "scaleDown's
+    // compute can be handled by the CRB").
+    w.crb_macs += 2.0 * (sf + 1.0) * kept * n;
+    w.ntt_count += 2.0 * rf;
+    w
+}
+
+/// On-chip reuse factor for ciphertext streaming: CraterLake's compiler
+/// keeps operands resident in the register file across many uses, so the
+/// *amortized* DRAM traffic per op is a fraction of the ciphertext size.
+/// Calibrated so compute and memory are balanced at the paper's default
+/// configuration (Sec. 4.2: "accelerators seek to balance compute and
+/// memory utilization"); the Fig. 17 spill model divides this reuse back
+/// out when the working set overflows.
+const CT_REUSE: f64 = 64.0;
+
+/// Lowers one op to its work vector.
+pub fn compile(op: &FheOp, ctx: &TraceContext, word_bits: u32, kshgen: bool) -> Work {
+    let n = ctx.n as f64;
+    let word_bytes = word_bits as f64 / 8.0;
+    let ct_bytes = |r: usize| 2.0 * r as f64 * n * word_bytes / CT_REUSE;
+
+    let mut w = Work::default();
+    match *op {
+        FheOp::HAdd { r } => {
+            w.add_elems += 2.0 * r as f64 * n;
+            w.dram_bytes += 2.0 * ct_bytes(r); // second operand in + result out
+        }
+        FheOp::PMult { r } => {
+            w.mul_elems += 2.0 * r as f64 * n;
+            w.dram_bytes += 1.5 * ct_bytes(r); // plaintext is one poly
+        }
+        FheOp::HMult { r } => {
+            let rf = r as f64;
+            // Tensor: d0 = a0·b0, d1 = a0·b1 + a1·b0, d2 = a1·b1.
+            w.mul_elems += 4.0 * rf * n;
+            w.add_elems += 3.0 * rf * n;
+            w.add(&keyswitch_work(r, ctx, word_bytes, kshgen));
+            w.dram_bytes += 2.0 * ct_bytes(r);
+        }
+        FheOp::HRotate { r } => {
+            let rf = r as f64;
+            // The Galois automorphism permutes NTT slots directly, so the
+            // dedicated automorphism unit applies it without leaving
+            // evaluation domain (as CraterLake's does).
+            w.autom_elems += 2.0 * rf * n;
+            w.add_elems += rf * n; // recombination
+            w.add(&keyswitch_work(r, ctx, word_bytes, kshgen));
+            w.dram_bytes += 1.5 * ct_bytes(r);
+        }
+        FheOp::Rescale {
+            r,
+            shed,
+            added,
+            batched,
+        } => {
+            let rf = r as f64;
+            if added > 0 {
+                // scaleUp: mulConst over existing residues (Listing 3).
+                w.mul_elems += 2.0 * rf * n;
+            }
+            let r_ext = r + added;
+            if batched {
+                w.add(&scale_down_work(r_ext, shed, n));
+            } else {
+                // Sequential single-prime rescales (Listing 1).
+                let mut cur = r_ext;
+                for _ in 0..shed {
+                    w.add(&scale_down_work(cur, 1, n));
+                    cur -= 1;
+                }
+            }
+            w.dram_bytes += ct_bytes(r);
+        }
+        FheOp::Adjust {
+            r,
+            shed,
+            added,
+            batched,
+        } => {
+            // mulConst by K (Listing 2 / 6) then the rescale.
+            w.mul_elems += 2.0 * r as f64 * n;
+            w.add(&compile(
+                &FheOp::Rescale {
+                    r,
+                    shed,
+                    added,
+                    batched,
+                },
+                ctx,
+                word_bits,
+                kshgen,
+            ));
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CTX: TraceContext = TraceContext {
+        n: 1 << 16,
+        dnum: 3,
+        special: 6,
+    };
+
+    #[test]
+    fn hmult_dominated_by_crb_and_ntt() {
+        let w = compile(&FheOp::HMult { r: 30 }, &CTX, 28, true);
+        // O(R·E) CRB MACs dominate O(R) elementwise work.
+        assert!(w.crb_macs > 3.0 * w.mul_elems);
+        assert!(w.ntt_count > 0.0 && w.kshgen_elems > 0.0);
+    }
+
+    #[test]
+    fn hmult_cost_grows_superlinearly() {
+        let w1 = compile(&FheOp::HMult { r: 20 }, &CTX, 28, true);
+        let w2 = compile(&FheOp::HMult { r: 40 }, &CTX, 28, true);
+        let crb_ratio = w2.crb_macs / w1.crb_macs;
+        assert!(
+            crb_ratio > 2.2,
+            "CRB should grow superlinearly: ratio {crb_ratio}"
+        );
+        // NTT grows linearly-ish.
+        let ntt_ratio = w2.ntt_count / w1.ntt_count;
+        assert!(ntt_ratio > 1.7 && ntt_ratio < 2.3);
+    }
+
+    #[test]
+    fn rotate_costs_like_mult() {
+        // Paper Sec. 4.2: rotations have nearly identical cost to
+        // multiplies.
+        let m = compile(&FheOp::HMult { r: 30 }, &CTX, 28, true);
+        let r = compile(&FheOp::HRotate { r: 30 }, &CTX, 28, true);
+        let ratio = r.crb_macs / m.crb_macs;
+        assert!((ratio - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn add_is_cheap() {
+        let a = compile(&FheOp::HAdd { r: 30 }, &CTX, 28, true);
+        let m = compile(&FheOp::HMult { r: 30 }, &CTX, 28, true);
+        assert!(a.add_elems < 0.1 * (m.crb_macs + m.mul_elems));
+        assert_eq!(a.crb_macs, 0.0);
+    }
+
+    #[test]
+    fn batched_scale_down_beats_sequential() {
+        // Paper Sec. 4.3: shedding k moduli at once via the CRB is almost
+        // as fast as shedding one; sequential shedding does more NTTs.
+        let b = compile(
+            &FheOp::Rescale {
+                r: 30,
+                shed: 3,
+                added: 2,
+                batched: true,
+            },
+            &CTX,
+            28,
+            true,
+        );
+        let s = compile(
+            &FheOp::Rescale {
+                r: 30,
+                shed: 3,
+                added: 0,
+                batched: false,
+            },
+            &CTX,
+            28,
+            true,
+        );
+        assert!(b.ntt_count < s.ntt_count);
+    }
+
+    #[test]
+    fn rescale_minor_vs_mult() {
+        // Level management is a few percent of a multiply (paper: 4-7%).
+        let resc = compile(
+            &FheOp::Rescale {
+                r: 30,
+                shed: 2,
+                added: 1,
+                batched: true,
+            },
+            &CTX,
+            28,
+            true,
+        );
+        let mult = compile(&FheOp::HMult { r: 30 }, &CTX, 28, true);
+        assert!(resc.crb_macs < 0.2 * mult.crb_macs);
+    }
+
+    #[test]
+    fn kshgen_trades_dram_for_compute() {
+        let with = compile(&FheOp::HMult { r: 30 }, &CTX, 28, true);
+        let without = compile(&FheOp::HMult { r: 30 }, &CTX, 28, false);
+        assert!(without.dram_bytes > with.dram_bytes);
+        assert!(with.kshgen_elems > 0.0 && without.kshgen_elems == 0.0);
+    }
+
+    #[test]
+    fn categories() {
+        assert_eq!(
+            FheOp::Rescale {
+                r: 5,
+                shed: 1,
+                added: 0,
+                batched: false
+            }
+            .category(),
+            OpCategory::LevelMgmt
+        );
+        assert_eq!(FheOp::HMult { r: 5 }.category(), OpCategory::Other);
+    }
+}

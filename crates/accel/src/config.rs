@@ -1,0 +1,196 @@
+//! Accelerator configuration: CraterLake and its word-size variants.
+
+/// The six functional-unit classes of a CraterLake-class accelerator
+/// (paper Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Modular multiplier (5 vector FUs).
+    Mul,
+    /// Modular adder (5 vector FUs).
+    Add,
+    /// Number-theoretic transform (2 spatially-pipelined FUs).
+    Ntt,
+    /// Automorphism (structured permutation) unit.
+    Automorphism,
+    /// Change-RNS-base unit — the multiply-accumulate array that executes
+    /// basis conversions (ARK/SHARP call it `bConv`).
+    Crb,
+    /// Keyswitch-hint generator (regenerates keys on-chip to save memory
+    /// traffic; ARK lacks it, SHARP adopted it).
+    KshGen,
+}
+
+/// All FU kinds, for iteration.
+pub const FU_KINDS: [FuKind; 6] = [
+    FuKind::Mul,
+    FuKind::Add,
+    FuKind::Ntt,
+    FuKind::Automorphism,
+    FuKind::Crb,
+    FuKind::KshGen,
+];
+
+/// A machine configuration.
+///
+/// # Example
+/// ```
+/// use bp_accel::AcceleratorConfig;
+/// let cl = AcceleratorConfig::craterlake();
+/// assert_eq!(cl.word_bits, 28);
+/// let ark_like = cl.with_word_bits(64);
+/// // Iso-throughput: bits/cycle stays constant across the sweep.
+/// assert_eq!(cl.lanes * cl.word_bits as usize,
+///            ark_like.lanes * ark_like.word_bits as usize);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Hardware word width in bits (28 = CraterLake, 36 ≈ SHARP,
+    /// 64 ≈ ARK/BTS).
+    pub word_bits: u32,
+    /// Vector lanes (2048 at 28-bit; scaled by 28/w across the sweep).
+    pub lanes: usize,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Modular-multiplier FU count.
+    pub mul_fus: usize,
+    /// Modular-adder FU count.
+    pub add_fus: usize,
+    /// NTT FU count.
+    pub ntt_fus: usize,
+    /// Automorphism FU count.
+    pub automorphism_fus: usize,
+    /// CRB multiply-accumulate units per lane (56 at 28-bit; scaled by
+    /// 28/w so the CRB is not overdesigned at wide words — paper Sec. 6.2).
+    pub crb_macs_per_lane: usize,
+    /// Register-file capacity in MiB (256 for CraterLake).
+    pub regfile_mb: f64,
+    /// Main-memory bandwidth in GB/s (1000 = 1 TB/s HBM).
+    pub mem_bw_gbps: f64,
+    /// Whether the KSHGen unit is present (eliminates keyswitch-hint DRAM
+    /// traffic).
+    pub kshgen: bool,
+}
+
+impl AcceleratorConfig {
+    /// The CraterLake configuration the paper uses as its default
+    /// (Sec. 5): 28-bit words, 2048 lanes, 256 MB register file, 1 TB/s
+    /// HBM, 1 GHz.
+    pub fn craterlake() -> Self {
+        Self {
+            word_bits: 28,
+            lanes: 2048,
+            freq_ghz: 1.0,
+            mul_fus: 5,
+            add_fus: 5,
+            ntt_fus: 2,
+            automorphism_fus: 1,
+            crb_macs_per_lane: 56,
+            regfile_mb: 256.0,
+            mem_bw_gbps: 1000.0,
+            kshgen: true,
+        }
+    }
+
+    /// Derives an iso-throughput variant at a different word size
+    /// (paper Sec. 6.2): lanes and CRB MACs per lane scale by `28/w` so
+    /// raw bit throughput is constant; register file and memory bandwidth
+    /// are unchanged.
+    #[must_use]
+    pub fn with_word_bits(&self, w: u32) -> Self {
+        assert!((20..=64).contains(&w), "word width {w} outside 20..=64");
+        let scale = self.word_bits as f64 / w as f64;
+        Self {
+            word_bits: w,
+            lanes: ((self.lanes as f64 * scale).round() as usize).max(1),
+            crb_macs_per_lane: ((self.crb_macs_per_lane as f64 * scale).round() as usize).max(1),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a variant with a different register-file size (Fig. 17
+    /// sweep).
+    #[must_use]
+    pub fn with_regfile_mb(&self, mb: f64) -> Self {
+        let mut c = self.clone();
+        c.regfile_mb = mb;
+        c
+    }
+
+    /// Elements per cycle a given FU class can sustain (all FUs of that
+    /// class combined).
+    pub fn throughput(&self, fu: FuKind) -> f64 {
+        let l = self.lanes as f64;
+        match fu {
+            FuKind::Mul => self.mul_fus as f64 * l,
+            FuKind::Add => self.add_fus as f64 * l,
+            // NTT FUs are spatially-pipelined four-step designs: all logN
+            // stages operate concurrently, and the wide datapath sustains
+            // ~4 lane-groups of butterflies per cycle.
+            FuKind::Ntt => 4.0 * self.ntt_fus as f64 * l,
+            // The automorphism is a wired permutation network able to remap
+            // several lane groups per cycle.
+            FuKind::Automorphism => 4.0 * self.automorphism_fus as f64 * l,
+            FuKind::Crb => l * self.crb_macs_per_lane as f64,
+            FuKind::KshGen => l,
+        }
+    }
+
+    /// Bytes per cycle of main-memory bandwidth.
+    pub fn mem_bytes_per_cycle(&self) -> f64 {
+        self.mem_bw_gbps / self.freq_ghz
+    }
+
+    /// Raw compute throughput in bits per cycle (lanes × word width) —
+    /// held constant by [`AcceleratorConfig::with_word_bits`].
+    pub fn bit_throughput(&self) -> f64 {
+        self.lanes as f64 * self.word_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iso_throughput_scaling() {
+        let base = AcceleratorConfig::craterlake();
+        for w in [28u32, 32, 36, 40, 48, 56, 64] {
+            let v = base.with_word_bits(w);
+            let ratio = v.bit_throughput() / base.bit_throughput();
+            assert!(
+                (ratio - 1.0).abs() < 0.02,
+                "bit throughput drifts {ratio} at w={w}"
+            );
+            // CRB multiplier capacity (MACs × lanes × w², i.e. multiplier
+            // bit-area) stays roughly constant under iso-throughput scaling.
+            let cap = |c: &AcceleratorConfig| {
+                (c.lanes * c.crb_macs_per_lane) as f64 * (c.word_bits as f64).powi(2)
+            };
+            let crb_ratio = cap(&v) / cap(&base);
+            assert!((crb_ratio - 1.0).abs() < 0.05, "CRB drifts {crb_ratio} at w={w}");
+        }
+    }
+
+    #[test]
+    fn paper_constants() {
+        let cl = AcceleratorConfig::craterlake();
+        assert_eq!(cl.lanes, 2048);
+        assert_eq!(cl.regfile_mb, 256.0);
+        assert_eq!(cl.mem_bw_gbps, 1000.0);
+        // The 30-bit design has twice the lanes of the 60-bit design
+        // (paper Sec. 6.2), up to integer rounding.
+        let l30 = cl.with_word_bits(30).lanes as f64;
+        let l60 = cl.with_word_bits(60).lanes as f64;
+        assert!((l30 / l60 - 2.0).abs() < 0.01);
+        // CRB MACs per lane roughly halve from 30- to 60-bit words.
+        let c30 = cl.with_word_bits(30).crb_macs_per_lane as f64;
+        let c60 = cl.with_word_bits(60).crb_macs_per_lane as f64;
+        assert!((c30 / c60 - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_extreme_words() {
+        AcceleratorConfig::craterlake().with_word_bits(128);
+    }
+}

@@ -1,0 +1,194 @@
+//! Energy model.
+//!
+//! Per-operation energies follow the scaling rules the paper relies on
+//! (Sec. 1, Sec. 4.2): modular-multiplier energy grows **quadratically**
+//! with word width (this is why unused datapath bits are so costly — a 60%
+//! space overhead becomes a 2.6× multiplier-energy overhead), adder energy
+//! grows linearly, an NTT butterfly is one multiply plus two adds, and the
+//! register file and HBM pay per byte. Constants are calibrated so a
+//! homomorphic multiply at `N = 2^16`, `R = 60`, 28-bit words lands in the
+//! few-mJ range with CRB > NTT > RF > elementwise, matching the paper's
+//! Fig. 10 breakdown.
+
+use crate::compile::Work;
+use crate::config::AcceleratorConfig;
+
+/// Energy cost constants (picojoules).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Multiplier energy per bit² (e_mul = `c_mul · w²`).
+    pub c_mul_pj_per_bit2: f64,
+    /// Adder energy per bit (e_add = `c_add · w`).
+    pub c_add_pj_per_bit: f64,
+    /// Permutation (automorphism) energy per bit.
+    pub c_perm_pj_per_bit: f64,
+    /// Register-file energy per byte moved.
+    pub c_rf_pj_per_byte: f64,
+    /// DRAM (HBM) energy per byte.
+    pub c_dram_pj_per_byte: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            c_mul_pj_per_bit2: 5.0e-3,
+            c_add_pj_per_bit: 3.0e-2,
+            c_perm_pj_per_bit: 2.0e-2,
+            c_rf_pj_per_byte: 0.3,
+            c_dram_pj_per_byte: 4.0,
+        }
+    }
+}
+
+/// Energy per component, in millijoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Elementwise multiplier FUs.
+    pub mul_mj: f64,
+    /// Elementwise adder FUs.
+    pub add_mj: f64,
+    /// NTT FUs.
+    pub ntt_mj: f64,
+    /// Automorphism FU.
+    pub autom_mj: f64,
+    /// Change-RNS-base FU.
+    pub crb_mj: f64,
+    /// Keyswitch-hint generator.
+    pub kshgen_mj: f64,
+    /// Register file.
+    pub rf_mj: f64,
+    /// Main memory.
+    pub dram_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.mul_mj
+            + self.add_mj
+            + self.ntt_mj
+            + self.autom_mj
+            + self.crb_mj
+            + self.kshgen_mj
+            + self.rf_mj
+            + self.dram_mj
+    }
+
+    /// Elementwise (mul + add + automorphism) share — the "Element-wise"
+    /// series of Fig. 10.
+    pub fn elementwise_mj(&self) -> f64 {
+        self.mul_mj + self.add_mj + self.autom_mj
+    }
+
+    /// Componentwise accumulate.
+    pub fn add(&mut self, o: &EnergyBreakdown) {
+        self.mul_mj += o.mul_mj;
+        self.add_mj += o.add_mj;
+        self.ntt_mj += o.ntt_mj;
+        self.autom_mj += o.autom_mj;
+        self.crb_mj += o.crb_mj;
+        self.kshgen_mj += o.kshgen_mj;
+        self.rf_mj += o.rf_mj;
+        self.dram_mj += o.dram_mj;
+    }
+}
+
+impl EnergyModel {
+    /// Energy of a work vector on the given machine. `n` is the ring
+    /// degree (NTT butterfly counts are `N/2·log₂N` per pass).
+    pub fn energy(&self, work: &Work, n: usize, cfg: &AcceleratorConfig) -> EnergyBreakdown {
+        let w = cfg.word_bits as f64;
+        let e_mul = self.c_mul_pj_per_bit2 * w * w;
+        let e_add = self.c_add_pj_per_bit * w;
+        let e_perm = self.c_perm_pj_per_bit * w;
+        let word_bytes = w / 8.0;
+
+        let butterflies_per_ntt = (n as f64 / 2.0) * (n as f64).log2();
+        let ntt_pj = work.ntt_count * butterflies_per_ntt * (e_mul + 2.0 * e_add);
+
+        // Register-file traffic: each element op reads operands and writes
+        // a result; modeled as 2 word-accesses per element op (operand
+        // reuse within FUs absorbs the rest).
+        let elem_ops = work.mul_elems
+            + work.add_elems
+            + work.crb_macs
+            + work.autom_elems
+            + work.kshgen_elems
+            + work.ntt_count * n as f64;
+        let rf_bytes = elem_ops * 2.0 * word_bytes;
+
+        const MJ: f64 = 1e-9; // pJ → mJ
+        EnergyBreakdown {
+            mul_mj: work.mul_elems * e_mul * MJ,
+            add_mj: work.add_elems * e_add * MJ,
+            ntt_mj: ntt_pj * MJ,
+            autom_mj: work.autom_elems * e_perm * MJ,
+            crb_mj: work.crb_macs * (e_mul + e_add) * MJ,
+            kshgen_mj: work.kshgen_elems * e_mul * MJ,
+            rf_mj: rf_bytes * self.c_rf_pj_per_byte * MJ,
+            dram_mj: work.dram_bytes * self.c_dram_pj_per_byte * MJ,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, FheOp, TraceContext};
+
+    #[test]
+    fn hmult_energy_in_paper_range_and_ordering() {
+        // Fig. 10: at R = 60, 28-bit words, N = 2^16, one homomorphic
+        // multiply costs a few mJ, with CRB and NTT dominating, RF visible,
+        // elementwise small.
+        let cfg = AcceleratorConfig::craterlake();
+        let ctx = TraceContext {
+            n: 1 << 16,
+            dnum: 3,
+            special: 20,
+        };
+        let work = compile(&FheOp::HMult { r: 60 }, &ctx, 28, true);
+        let e = EnergyModel::default().energy(&work, ctx.n, &cfg);
+        let total = e.total_mj();
+        assert!(
+            (1.0..12.0).contains(&total),
+            "HMult energy {total:.2} mJ outside the paper's few-mJ range"
+        );
+        assert!(e.crb_mj > e.ntt_mj, "CRB should dominate NTT");
+        assert!(e.ntt_mj > e.elementwise_mj(), "NTT above elementwise");
+        assert!(e.rf_mj > 0.0 && e.rf_mj < e.crb_mj);
+    }
+
+    #[test]
+    fn energy_grows_superlinearly_with_residues() {
+        // Paper Fig. 10: overall energy grows ≈ R^1.6.
+        let cfg = AcceleratorConfig::craterlake();
+        let model = EnergyModel::default();
+        let e_at = |r: usize| {
+            let ctx = TraceContext {
+                n: 1 << 16,
+                dnum: 3,
+                special: r.div_ceil(3),
+            };
+            model
+                .energy(&compile(&FheOp::HMult { r }, &ctx, 28, true), ctx.n, &cfg)
+                .total_mj()
+        };
+        let exponent = (e_at(60) / e_at(15)).ln() / 4f64.ln();
+        assert!(
+            (1.2..2.0).contains(&exponent),
+            "energy exponent {exponent:.2} outside superlinear band"
+        );
+    }
+
+    #[test]
+    fn multiplier_energy_quadratic_in_width() {
+        // A 60% space overhead causes ~2.6x multiplier energy overhead
+        // (paper Sec. 1): (1/0.625)^2 = 2.56.
+        let m = EnergyModel::default();
+        let e28 = m.c_mul_pj_per_bit2 * 28.0 * 28.0;
+        let e_eff = m.c_mul_pj_per_bit2 * (28.0 * 0.625) * (28.0 * 0.625);
+        let overhead = e28 / e_eff;
+        assert!((overhead - 2.56).abs() < 0.01);
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion benchmark for modulus-chain construction (the paper states the
+//! selection algorithm "completes in less than a second for all word sizes"
+//! — Sec. 3.3).
+
+use bp_ckks::{CkksParams, ModulusChain, Representation, SecurityLevel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain_construction");
+    g.sample_size(10);
+    for w in [28u32, 36, 64] {
+        for repr in [Representation::BitPacker, Representation::RnsCkks] {
+            let params = CkksParams::builder()
+                .log_n(16)
+                .word_bits(w)
+                .representation(repr)
+                .security(SecurityLevel::Bits128)
+                .scale_schedule(vec![45; 16])
+                .base_modulus_bits(60)
+                .build()
+                .expect("params");
+            g.bench_function(BenchmarkId::new(repr.to_string(), w), |b| {
+                b.iter(|| ModulusChain::new(&params).expect("chain"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks backing Fig. 13: per-operation CPU cost of
+//! the real library under both representations.
+
+use bp_ckks::{CkksContext, CkksParams, KeySet, Representation, SecurityLevel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+fn setup(repr: Representation) -> (CkksContext, KeySet) {
+    let word_bits = match repr {
+        Representation::BitPacker => 28,
+        Representation::RnsCkks => 61,
+    };
+    let params = CkksParams::builder()
+        .log_n(11)
+        .word_bits(word_bits)
+        .representation(repr)
+        .security(SecurityLevel::Insecure)
+        .levels(6, 40)
+        .base_modulus_bits(50)
+        .build()
+        .expect("params");
+    let ctx = CkksContext::new(&params).expect("context");
+    let mut rng = ChaCha20Rng::seed_from_u64(99);
+    let mut keys = ctx.keygen(&mut rng);
+    ctx.gen_rotation_keys(&mut keys, &[1], &mut rng);
+    (ctx, keys)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    for repr in [Representation::BitPacker, Representation::RnsCkks] {
+        let (ctx, keys) = setup(repr);
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        let vals: Vec<f64> = (0..ctx.params().slots())
+            .map(|i| (i as f64).sin() / 2.0)
+            .collect();
+        let ct = ctx.encrypt(&ctx.encode(&vals, ctx.max_level()), &keys.public, &mut rng);
+        let ev = ctx.evaluator();
+        let name = repr.to_string();
+
+        let mut g = c.benchmark_group("hmult");
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter(&name), |b| {
+            b.iter(|| ev.mul(&ct, &ct, &keys.evaluation))
+        });
+        g.finish();
+
+        let prod = ev.mul(&ct, &ct, &keys.evaluation);
+        let mut g = c.benchmark_group("rescale");
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter(&name), |b| {
+            b.iter(|| ev.rescale(&prod))
+        });
+        g.finish();
+
+        let mut g = c.benchmark_group("rotate");
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter(&name), |b| {
+            b.iter(|| ev.rotate(&ct, 1, &keys.evaluation))
+        });
+        g.finish();
+
+        let mut g = c.benchmark_group("adjust");
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter(&name), |b| {
+            b.iter(|| ev.adjust_to(&ct, ctx.max_level() - 1))
+        });
+        g.finish();
+
+        let mut g = c.benchmark_group("hadd");
+        g.sample_size(20);
+        g.bench_function(BenchmarkId::from_parameter(&name), |b| {
+            b.iter(|| ev.add(&ct, &ct))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

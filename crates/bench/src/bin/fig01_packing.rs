@@ -1,0 +1,51 @@
+//! Fig. 1 / Figs. 4–5: the packing example.
+//!
+//! A ciphertext with a 240-bit modulus (six 40-bit-scale levels) on 64-bit
+//! hardware words: RNS-CKKS stores it in 6 words (60% overhead), BitPacker
+//! in 4 (3 word-sized non-terminals + one ~48-bit terminal, 6.6% overhead).
+
+use bp_ckks::{CkksParams, ModulusChain, Representation, SecurityLevel};
+
+fn main() {
+    println!("Fig. 1 — packing a 240-bit, 6-level ciphertext into 64-bit words\n");
+    println!(
+        "{:<10} {:>6} {:>9} {:>10} {:>9}",
+        "scheme", "words", "logQ", "info bits", "overhead"
+    );
+    let mut rows = Vec::new();
+    for repr in [Representation::RnsCkks, Representation::BitPacker] {
+        let params = CkksParams::builder()
+            .log_n(12)
+            .word_bits(64)
+            .representation(repr)
+            .security(SecurityLevel::Insecure)
+            .scale_schedule(vec![40; 6])
+            .base_modulus_bits(40)
+            .build()
+            .expect("params");
+        let chain = ModulusChain::new(&params).expect("chain");
+        let top = chain.max_level();
+        let words = chain.residue_count_at(top);
+        let logq = chain.log_q_at(top);
+        // Fig. 1 defines overhead relative to the information content:
+        // (storage bits − information bits) / information bits.
+        let storage = words as f64 * 64.0;
+        let overhead = (storage - logq) / logq;
+        println!(
+            "{:<10} {:>6} {:>9.1} {:>10} {:>8.1}%",
+            repr.to_string(),
+            words,
+            logq,
+            240,
+            overhead * 100.0
+        );
+        println!("  moduli (bits): {:?}", chain
+            .moduli_at(top)
+            .iter()
+            .map(|&q| format!("{:.1}", (q as f64).log2()))
+            .collect::<Vec<_>>());
+        rows.push(format!("{repr},{words},{logq:.1},{:.3}", overhead));
+    }
+    println!("\npaper: RNS-CKKS 6 words (60% overhead), BitPacker 4 words (6.6%)");
+    bp_bench::write_csv("fig01_packing.csv", "scheme,words,logq,overhead", &rows);
+}

@@ -1,0 +1,56 @@
+//! Fig. 10: energy breakdown of one homomorphic multiply vs residue count.
+//!
+//! 28-bit words, N = 2^16, R = 10..60: the CRB dominates (it grows
+//! quadratically), NTT second, register file visible, elementwise small;
+//! overall growth ≈ R^1.6.
+
+use bp_accel::{compile, AcceleratorConfig, EnergyModel, FheOp, TraceContext};
+
+fn main() {
+    let cfg = AcceleratorConfig::craterlake();
+    let model = EnergyModel::default();
+    println!("Fig. 10 — HMult energy (mJ) vs residues R (28-bit words, N = 2^16)\n");
+    println!(
+        "{:>4} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "R", "RF", "NTT", "CRB", "Elemwise", "total"
+    );
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for r in (10usize..=60).step_by(5) {
+        let ctx = TraceContext {
+            n: 1 << 16,
+            dnum: 3,
+            special: r.div_ceil(3),
+        };
+        let work = compile(&FheOp::HMult { r }, &ctx, cfg.word_bits, cfg.kshgen);
+        let e = model.energy(&work, ctx.n, &cfg);
+        println!(
+            "{:>4} {:>8.3} {:>8.3} {:>8.3} {:>10.3} {:>8.3}",
+            r,
+            e.rf_mj,
+            e.ntt_mj,
+            e.crb_mj,
+            e.elementwise_mj(),
+            e.total_mj()
+        );
+        rows.push(format!(
+            "{r},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            e.rf_mj,
+            e.ntt_mj,
+            e.crb_mj,
+            e.elementwise_mj(),
+            e.total_mj()
+        ));
+        series.push((r as f64, e.total_mj()));
+    }
+    // Empirical growth exponent over the measured range.
+    let (r0, e0) = series[0];
+    let (r1, e1) = *series.last().expect("nonempty");
+    let exponent = (e1 / e0).ln() / (r1 / r0).ln();
+    println!("\nempirical energy growth: R^{exponent:.2} (paper: ~R^1.6)");
+    bp_bench::write_csv(
+        "fig10_energy_breakdown.csv",
+        "r,rf_mj,ntt_mj,crb_mj,elementwise_mj,total_mj",
+        &rows,
+    );
+}

@@ -1,0 +1,41 @@
+//! Fig. 11: normalized execution time, BitPacker vs RNS-CKKS, on the
+//! default 28-bit CraterLake, across the 10-benchmark matrix.
+//!
+//! The paper reports a gmean 59% speedup for BitPacker; this model
+//! reproduces the shape (BitPacker faster on every workload, with larger
+//! gains for the 35-bit-scale applications) at a smaller magnitude — see
+//! EXPERIMENTS.md for the calibration discussion.
+
+use bp_accel::AcceleratorConfig;
+use bp_bench::{gmean, run_workload, write_csv};
+use bp_ckks::{Representation, SecurityLevel};
+use bp_workloads::WorkloadSpec;
+
+fn main() {
+    let cfg = AcceleratorConfig::craterlake();
+    println!("Fig. 11 — execution time on 28-bit CraterLake (normalized to BitPacker)\n");
+    println!(
+        "{:<28} {:>10} {:>10} {:>12}",
+        "workload", "BP (ms)", "R-C (ms)", "R-C (norm)"
+    );
+    let mut rows = Vec::new();
+    let mut slowdowns = Vec::new();
+    for spec in WorkloadSpec::all() {
+        let bp = run_workload(&spec, Representation::BitPacker, &cfg, SecurityLevel::Bits128);
+        let rc = run_workload(&spec, Representation::RnsCkks, &cfg, SecurityLevel::Bits128);
+        let norm = rc.ms / bp.ms;
+        println!(
+            "{:<28} {:>10.2} {:>10.2} {:>12.2}",
+            spec.name(),
+            bp.ms,
+            rc.ms,
+            norm
+        );
+        rows.push(format!("{},{:.3},{:.3},{:.3}", spec.name(), bp.ms, rc.ms, norm));
+        slowdowns.push(norm);
+    }
+    let g = gmean(&slowdowns);
+    println!("\ngmean RNS-CKKS slowdown: {g:.2}x  (paper: 1.59x, up to 3x)");
+    rows.push(format!("gmean,,,{g:.3}"));
+    write_csv("fig11_exec_28bit.csv", "workload,bp_ms,rc_ms,rc_norm", &rows);
+}

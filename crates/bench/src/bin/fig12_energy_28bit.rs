@@ -1,0 +1,64 @@
+//! Fig. 12: energy on 28-bit CraterLake, normalized to BitPacker, with the
+//! level-management (rescale/adjust) share broken out.
+//!
+//! Paper: 59% gmean energy reduction; level management is a small share for
+//! both schemes (6% BitPacker / 7% RNS-CKKS gmean), and *lower in absolute
+//! terms* for BitPacker thanks to batched CRB shedding.
+
+use bp_accel::AcceleratorConfig;
+use bp_bench::{gmean, run_workload, write_csv};
+use bp_ckks::{Representation, SecurityLevel};
+use bp_workloads::WorkloadSpec;
+
+fn main() {
+    let cfg = AcceleratorConfig::craterlake();
+    println!("Fig. 12 — energy on 28-bit CraterLake (normalized to BitPacker total)\n");
+    println!(
+        "{:<28} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "workload", "BP (mJ)", "BP lvl%", "RC (mJ)", "RC lvl%", "RC norm", "EDP x"
+    );
+    let mut rows = Vec::new();
+    let (mut norms, mut edps, mut bp_lvl, mut rc_lvl) = (vec![], vec![], vec![], vec![]);
+    for spec in WorkloadSpec::all() {
+        let bp = run_workload(&spec, Representation::BitPacker, &cfg, SecurityLevel::Bits128);
+        let rc = run_workload(&spec, Representation::RnsCkks, &cfg, SecurityLevel::Bits128);
+        let (ebp, erc) = (bp.energy.total_mj(), rc.energy.total_mj());
+        let lvl_bp = bp.levelmgmt_mj / ebp;
+        let lvl_rc = rc.levelmgmt_mj / erc;
+        let norm = erc / ebp;
+        let edp = rc.edp() / bp.edp();
+        println!(
+            "{:<28} {:>9.1} {:>8.1}% {:>9.1} {:>8.1}% {:>8.2} {:>8.2}",
+            spec.name(),
+            ebp,
+            lvl_bp * 100.0,
+            erc,
+            lvl_rc * 100.0,
+            norm,
+            edp
+        );
+        rows.push(format!(
+            "{},{ebp:.2},{lvl_bp:.4},{erc:.2},{lvl_rc:.4},{norm:.3},{edp:.3}",
+            spec.name()
+        ));
+        norms.push(norm);
+        edps.push(edp);
+        bp_lvl.push(lvl_bp);
+        rc_lvl.push(lvl_rc);
+    }
+    println!(
+        "\ngmean RNS-CKKS energy overhead: {:.2}x (paper: 1.59x)",
+        gmean(&norms)
+    );
+    println!(
+        "gmean level-mgmt share: BitPacker {:.1}%  RNS-CKKS {:.1}% (paper: 6% / 7%)",
+        gmean(&bp_lvl) * 100.0,
+        gmean(&rc_lvl) * 100.0
+    );
+    println!("gmean EDP improvement: {:.2}x (paper: 2.53x)", gmean(&edps));
+    write_csv(
+        "fig12_energy_28bit.csv",
+        "workload,bp_mj,bp_lvl_share,rc_mj,rc_lvl_share,rc_norm,edp_ratio",
+        &rows,
+    );
+}

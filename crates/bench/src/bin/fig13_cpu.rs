@@ -1,0 +1,114 @@
+//! Fig. 13: CPU execution time of the real library, BitPacker vs RNS-CKKS.
+//!
+//! The paper implements a single-threaded Rust FHE library (this workspace
+//! *is* that library) and reports BitPacker gmean 24% faster at 64-bit CPU
+//! words. We run an app-flavored op mix per level through the actual
+//! evaluator. Software moduli cap at 61 bits (DESIGN.md substitution:
+//! changes packing by < 5%); the level-management share is reported like
+//! the paper's red bars.
+//!
+//! Run with `--release`; debug timings are meaningless.
+
+use bp_bench::{gmean, write_csv};
+use bp_ckks::{CkksContext, CkksParams, Representation, SecurityLevel};
+use bp_workloads::{App, WorkloadSpec};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::time::Instant;
+
+const WORD_BITS: u32 = 61;
+const LOG_N: u32 = 12;
+const LEVELS: usize = 8;
+
+fn run_cpu(app: App, repr: Representation) -> (f64, f64) {
+    let params = CkksParams::builder()
+        .log_n(LOG_N)
+        .word_bits(WORD_BITS)
+        .representation(repr)
+        .security(SecurityLevel::Insecure)
+        .levels(LEVELS, app.scale_bits())
+        .base_modulus_bits(app.scale_bits() + 15)
+        .dnum(3)
+        .build()
+        .expect("params");
+    let ctx = CkksContext::new(&params).expect("context");
+    let mut rng = ChaCha20Rng::seed_from_u64(0xF13);
+    let mut keys = ctx.keygen(&mut rng);
+    ctx.gen_rotation_keys(&mut keys, &[1], &mut rng);
+    let ev = ctx.evaluator();
+
+    let slots = ctx.params().slots();
+    let vals: Vec<f64> = (0..slots).map(|i| (i as f64 / slots as f64) - 0.5).collect();
+    let mut ct = ctx.encrypt(&ctx.encode(&vals, ctx.max_level()), &keys.public, &mut rng);
+
+    let mix = app.op_mix();
+    let scale_ops = |x: f64| (x / 16.0).ceil() as usize;
+
+    let mut total = 0.0f64;
+    let mut lvl_mgmt = 0.0f64;
+    while ct.level() > 0 {
+        let t0 = Instant::now();
+        for _ in 0..scale_ops(mix.hrotate) {
+            ct = ev.rotate(&ct, 1, &keys.evaluation);
+        }
+        for _ in 0..scale_ops(mix.hadd) {
+            let c2 = ct.clone();
+            ct = ev.add(&ct, &c2);
+        }
+        let half = ctx.encode_at_scale(
+            &vec![0.5; slots],
+            ct.level(),
+            ctx.chain().scale_at(ct.level()).clone(),
+        );
+        for _ in 0..scale_ops(mix.pmult).saturating_sub(1) {
+            let _ = ev.mul_plain(&ct, &half);
+        }
+        let prod = ev.mul(&ct, &ct, &keys.evaluation);
+        total += t0.elapsed().as_secs_f64();
+
+        // Level management, timed separately (the paper's red bars).
+        let t1 = Instant::now();
+        ct = ev.rescale(&prod);
+        let lm = t1.elapsed().as_secs_f64();
+        lvl_mgmt += lm;
+        total += lm;
+    }
+    (total * 1e3, lvl_mgmt * 1e3)
+}
+
+fn main() {
+    println!(
+        "Fig. 13 — CPU execution time, real library (N = 2^{LOG_N}, {WORD_BITS}-bit words)\n"
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "app", "BP (ms)", "BP lvl%", "RC (ms)", "RC lvl%", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for spec in WorkloadSpec::all().into_iter().take(5) {
+        let app = spec.app;
+        let (bp_ms, bp_lvl) = run_cpu(app, Representation::BitPacker);
+        let (rc_ms, rc_lvl) = run_cpu(app, Representation::RnsCkks);
+        let speedup = rc_ms / bp_ms;
+        println!(
+            "{:<18} {:>10.1} {:>9.1}% {:>10.1} {:>9.1}% {:>9.2}",
+            app.name(),
+            bp_ms,
+            bp_lvl / bp_ms * 100.0,
+            rc_ms,
+            rc_lvl / rc_ms * 100.0,
+            speedup
+        );
+        rows.push(format!(
+            "{},{bp_ms:.2},{rc_ms:.2},{speedup:.3}",
+            app.name()
+        ));
+        speedups.push(speedup);
+    }
+    println!(
+        "\ngmean CPU speedup: {:.2}x (paper: 1.24x on a Zen 2 CPU)",
+        gmean(&speedups)
+    );
+    write_csv("fig13_cpu.csv", "app,bp_ms,rc_ms,speedup", &rows);
+}

@@ -1,0 +1,38 @@
+//! Fig. 14: execution time vs hardware word size (28–64 bits), per
+//! workload, both schemes, under iso-throughput scaling.
+//!
+//! The paper's signature result: BitPacker's curve is flat (it always fills
+//! the datapath), while RNS-CKKS shows peaks and valleys tied to how each
+//! workload's scales divide into words.
+
+use bp_accel::AcceleratorConfig;
+use bp_bench::{run_workload, write_csv, WORD_SIZES};
+use bp_ckks::{Representation, SecurityLevel};
+use bp_workloads::WorkloadSpec;
+
+fn main() {
+    let base = AcceleratorConfig::craterlake();
+    println!("Fig. 14 — execution time (ms) vs word size, iso-throughput machines\n");
+    let mut rows = Vec::new();
+    for spec in WorkloadSpec::all() {
+        println!("{}:", spec.name());
+        print!("  {:<10}", "w");
+        for w in WORD_SIZES {
+            print!(" {w:>7}");
+        }
+        println!();
+        for repr in [Representation::BitPacker, Representation::RnsCkks] {
+            print!("  {:<10}", repr.to_string());
+            for w in WORD_SIZES {
+                let cfg = base.with_word_bits(w);
+                let rep = run_workload(&spec, repr, &cfg, SecurityLevel::Bits128);
+                print!(" {:>7.2}", rep.ms);
+                rows.push(format!("{},{repr},{w},{:.4}", spec.name(), rep.ms));
+            }
+            println!();
+        }
+    }
+    println!("\n(BitPacker row should be ~flat; RNS-CKKS row rises with word size,");
+    println!(" with valleys where a scale divides the word evenly — paper Fig. 14)");
+    write_csv("fig14_wordsize_sweep.csv", "workload,scheme,word_bits,ms", &rows);
+}

@@ -1,0 +1,56 @@
+//! Fig. 15: gmean / max / min RNS-CKKS slowdown vs BitPacker across word
+//! sizes, plus the Sec. 6.2 SHARP comparison (BitPacker at 28-bit words vs
+//! the SHARP-like 36-bit RNS-CKKS design).
+//!
+//! Paper anchors: gmean 1.59x at 28 bits, 2.18x at 64 bits (ARK-like);
+//! BitPacker@28 is 43% faster than SHARP-like with 2.2x better EDP.
+
+use bp_accel::AcceleratorConfig;
+use bp_bench::{gmean, run_workload, write_csv, WORD_SIZES};
+use bp_ckks::{Representation, SecurityLevel};
+use bp_workloads::WorkloadSpec;
+
+fn main() {
+    let base = AcceleratorConfig::craterlake();
+    println!("Fig. 15 — RNS-CKKS slowdown vs BitPacker across word sizes\n");
+    println!("{:>4} {:>8} {:>8} {:>8}", "w", "min", "gmean", "max");
+    let mut rows = Vec::new();
+    let mut bp28: Vec<f64> = Vec::new();
+    let mut bp28_edp: Vec<f64> = Vec::new();
+    let mut sharp: Vec<f64> = Vec::new();
+    let mut sharp_edp: Vec<f64> = Vec::new();
+    for w in WORD_SIZES {
+        let cfg = base.with_word_bits(w);
+        let mut slowdowns = Vec::new();
+        for spec in WorkloadSpec::all() {
+            let bp = run_workload(&spec, Representation::BitPacker, &cfg, SecurityLevel::Bits128);
+            let rc = run_workload(&spec, Representation::RnsCkks, &cfg, SecurityLevel::Bits128);
+            slowdowns.push(rc.ms / bp.ms);
+            if w == 28 {
+                bp28.push(bp.ms);
+                bp28_edp.push(bp.edp());
+            }
+            if w == 36 {
+                sharp.push(rc.ms);
+                sharp_edp.push(rc.edp());
+            }
+        }
+        let (mn, g, mx) = (
+            slowdowns.iter().cloned().fold(f64::INFINITY, f64::min),
+            gmean(&slowdowns),
+            slowdowns.iter().cloned().fold(0.0, f64::max),
+        );
+        println!("{w:>4} {mn:>8.2} {g:>8.2} {mx:>8.2}");
+        rows.push(format!("{w},{mn:.3},{g:.3},{mx:.3}"));
+    }
+    // SHARP comparison (Sec. 6.2).
+    let speedup: Vec<f64> = sharp.iter().zip(&bp28).map(|(s, b)| s / b).collect();
+    let edp: Vec<f64> = sharp_edp.iter().zip(&bp28_edp).map(|(s, b)| s / b).collect();
+    println!(
+        "\nSec. 6.2 — BitPacker@28-bit vs SHARP-like (36-bit RNS-CKKS):\n  \
+         gmean speedup {:.2}x (paper: 1.43x), gmean EDP gain {:.2}x (paper: 2.2x)",
+        gmean(&speedup),
+        gmean(&edp)
+    );
+    write_csv("fig15_slowdown.csv", "word_bits,min,gmean,max", &rows);
+}

@@ -1,0 +1,46 @@
+//! Fig. 17: gmean execution time vs register-file capacity on the 28-bit
+//! design, normalized to BitPacker at 256 MB.
+//!
+//! Paper: RNS-CKKS plateaus at 256 MB and degrades steadily below it (>3x
+//! at 150 MB); BitPacker's smaller ciphertexts keep it flat down to 200 MB
+//! with only ~70% slowdown at 150 MB — enabling the Sec. 6.3 area-reduced
+//! configuration.
+
+use bp_accel::AcceleratorConfig;
+use bp_bench::{gmean, run_workload, write_csv};
+use bp_ckks::{Representation, SecurityLevel};
+use bp_workloads::WorkloadSpec;
+
+fn main() {
+    let base = AcceleratorConfig::craterlake();
+    println!("Fig. 17 — gmean execution time vs register-file size (28-bit words)\n");
+    println!("{:>8} {:>12} {:>12}", "RF (MB)", "BitPacker", "RNS-CKKS");
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    for mb in [150.0, 175.0, 200.0, 225.0, 256.0, 300.0, 350.0] {
+        let cfg = base.with_regfile_mb(mb);
+        let mut bp_ms = Vec::new();
+        let mut rc_ms = Vec::new();
+        for spec in WorkloadSpec::all() {
+            bp_ms.push(
+                run_workload(&spec, Representation::BitPacker, &cfg, SecurityLevel::Bits128).ms,
+            );
+            rc_ms.push(
+                run_workload(&spec, Representation::RnsCkks, &cfg, SecurityLevel::Bits128).ms,
+            );
+        }
+        let (gbp, grc) = (gmean(&bp_ms), gmean(&rc_ms));
+        if mb == 256.0 {
+            baseline = Some(gbp);
+        }
+        rows.push((mb, gbp, grc));
+    }
+    let norm = baseline.expect("256 MB point present");
+    let mut csv = Vec::new();
+    for (mb, gbp, grc) in rows {
+        println!("{mb:>8.0} {:>12.2} {:>12.2}", gbp / norm, grc / norm);
+        csv.push(format!("{mb},{:.4},{:.4}", gbp / norm, grc / norm));
+    }
+    println!("\npaper: at 150 MB BitPacker slows ~1.7x, RNS-CKKS > 3x");
+    write_csv("fig17_regfile.csv", "rf_mb,bp_norm,rc_norm", &csv);
+}

@@ -1,0 +1,60 @@
+//! Sec. 6.3: BitPacker-tuned accelerator area, and the combined
+//! energy-delay-area product (EDAP).
+//!
+//! Paper: BitPacker tolerates a 200 MB register file and a 28%-smaller CRB
+//! with no performance loss, shrinking CraterLake from 472.3 mm² to
+//! 395.5 mm² (a 19% reduction) and improving EDAP 3.0x over RNS-CKKS on
+//! the original configuration.
+
+use bp_accel::{area, AcceleratorConfig};
+use bp_bench::{gmean, run_workload, write_csv};
+use bp_ckks::{Representation, SecurityLevel};
+use bp_workloads::WorkloadSpec;
+
+fn main() {
+    let original = AcceleratorConfig::craterlake();
+    let tuned = area::bitpacker_tuned_craterlake();
+    let a_orig = area::die_area(&original).total_mm2();
+    let a_tuned = area::die_area(&tuned).total_mm2();
+
+    println!("Sec. 6.3 — BitPacker-tuned CraterLake\n");
+    println!("original:  {a_orig:>7.1} mm²  (256 MB RF, 56 CRB MACs/lane)");
+    println!(
+        "tuned:     {a_tuned:>7.1} mm²  (200 MB RF, {} CRB MACs/lane)",
+        tuned.crb_macs_per_lane
+    );
+    println!(
+        "reduction: {:>6.1}%   (paper: 472.3 -> 395.5 mm², \"19%\")\n",
+        (a_orig / a_tuned - 1.0) * 100.0
+    );
+
+    // Performance of BitPacker on the tuned config vs RNS-CKKS on the
+    // original; EDAP folds area in. The CRB shrink is sized to BitPacker's
+    // lower R_max (paper Sec. 4.2: the CRB performs R_max multiply-adds per
+    // input element), so it does not reduce BitPacker throughput — the
+    // tuned machine keeps the original CRB rate and only the register-file
+    // reduction is exposed to the performance model.
+    let mut perf_cfg = tuned.clone();
+    perf_cfg.crb_macs_per_lane = original.crb_macs_per_lane;
+    let mut slow = Vec::new();
+    let mut edap = Vec::new();
+    let mut rows = Vec::new();
+    for spec in WorkloadSpec::all() {
+        let bp = run_workload(&spec, Representation::BitPacker, &perf_cfg, SecurityLevel::Bits128);
+        let rc = run_workload(&spec, Representation::RnsCkks, &original, SecurityLevel::Bits128);
+        let s = rc.ms / bp.ms;
+        let ed = (rc.edp() * a_orig) / (bp.edp() * a_tuned);
+        slow.push(s);
+        edap.push(ed);
+        rows.push(format!("{},{s:.3},{ed:.3}", spec.name()));
+    }
+    println!(
+        "gmean speedup (BP on tuned vs R-C on original): {:.2}x",
+        gmean(&slow)
+    );
+    println!(
+        "gmean EDAP improvement: {:.2}x (paper: 3.0x)",
+        gmean(&edap)
+    );
+    write_csv("sec63_area.csv", "workload,speedup,edap_gain", &rows);
+}

@@ -1,0 +1,139 @@
+//! Shared harness utilities for the figure/table regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (see DESIGN.md's per-experiment index). They print an
+//! aligned table to stdout and drop a CSV under `results/` so the series
+//! can be re-plotted.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use bp_accel::{simulate, AcceleratorConfig, SimReport};
+use bp_ckks::{Representation, SecurityLevel};
+use bp_workloads::WorkloadSpec;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Geometric mean of a slice.
+///
+/// # Panics
+/// Panics if `xs` is empty or contains non-positive values.
+pub fn gmean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "gmean of empty slice");
+    let s: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "gmean requires positive values");
+            x.ln()
+        })
+        .sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Writes a CSV file under `results/` (created if needed), returning the
+/// path. Errors are reported but non-fatal (the table already went to
+/// stdout).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> Option<PathBuf> {
+    let dir = PathBuf::from(
+        std::env::var("BP_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()),
+    );
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(name);
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{header}");
+            for r in rows {
+                let _ = writeln!(f, "{r}");
+            }
+            println!("\n[csv] {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Simulates one workload under one representation at the given machine.
+///
+/// # Panics
+/// Panics if the chain cannot be built (paper parameters always can).
+pub fn run_workload(
+    spec: &WorkloadSpec,
+    repr: Representation,
+    cfg: &AcceleratorConfig,
+    security: SecurityLevel,
+) -> SimReport {
+    let (chain, app_levels) = spec
+        .build_chain(repr, cfg.word_bits, security)
+        .unwrap_or_else(|e| panic!("{}: chain build failed: {e}", spec.name()));
+    let (trace, ctx) = spec.trace(&chain, app_levels);
+    let ws = spec.working_set_mb(&chain);
+    simulate(&trace, cfg, &ctx, ws)
+}
+
+/// The word sizes swept in Figs. 14–16.
+pub const WORD_SIZES: [u32; 10] = [28, 32, 36, 40, 44, 48, 52, 56, 60, 64];
+
+/// Quartile summary of a sample (used by the Fig. 18/19 box plots).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes box-plot statistics.
+///
+/// # Panics
+/// Panics if `xs` is empty.
+pub fn box_stats(xs: &mut [f64]) -> BoxStats {
+    assert!(!xs.is_empty());
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pick = |q: f64| xs[((xs.len() - 1) as f64 * q).round() as usize];
+    BoxStats {
+        min: xs[0],
+        q1: pick(0.25),
+        median: pick(0.5),
+        q3: pick(0.75),
+        max: xs[xs.len() - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_matches_definition() {
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((gmean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_stats_ordering() {
+        let mut xs = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = box_stats(&mut xs);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert!(b.q1 <= b.median && b.median <= b.q3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn gmean_empty_panics() {
+        gmean(&[]);
+    }
+}

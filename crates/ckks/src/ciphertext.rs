@@ -1,0 +1,66 @@
+//! CKKS ciphertexts.
+
+use bp_math::FactoredScale;
+use bp_rns::RnsPoly;
+
+/// A CKKS ciphertext: the polynomial pair `(ct.0, ct.1)` with
+/// `ct.0 + ct.1·s ≈ m` (paper Fig. 2), plus its level and exact scale.
+///
+/// Both polynomials are kept in NTT domain between operations.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    pub(crate) c0: RnsPoly,
+    pub(crate) c1: RnsPoly,
+    pub(crate) level: usize,
+    pub(crate) scale: FactoredScale,
+}
+
+impl Ciphertext {
+    /// Creates a ciphertext from its parts (crate-internal; users obtain
+    /// ciphertexts from encryption or evaluation).
+    pub(crate) fn new(c0: RnsPoly, c1: RnsPoly, level: usize, scale: FactoredScale) -> Self {
+        debug_assert_eq!(c0.moduli(), c1.moduli());
+        Self {
+            c0,
+            c1,
+            level,
+            scale,
+        }
+    }
+
+    /// The ciphertext's current level.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The exact scale of the encrypted values.
+    pub fn scale(&self) -> &FactoredScale {
+        &self.scale
+    }
+
+    /// The residue moduli currently backing the ciphertext.
+    pub fn moduli(&self) -> Vec<u64> {
+        self.c0.moduli()
+    }
+
+    /// Number of residues `R` (what drives accelerator cost).
+    pub fn num_residues(&self) -> usize {
+        self.c0.num_residues()
+    }
+
+    /// The first polynomial (`ct.0`).
+    pub fn c0(&self) -> &RnsPoly {
+        &self.c0
+    }
+
+    /// The second polynomial (`ct.1`).
+    pub fn c1(&self) -> &RnsPoly {
+        &self.c1
+    }
+
+    /// Total size in hardware words (`2 · R · N`): the quantity BitPacker
+    /// shrinks (paper Sec. 4.2 "ciphertext size is linear with R").
+    pub fn size_words(&self) -> usize {
+        2 * self.num_residues() * self.c0.n()
+    }
+}

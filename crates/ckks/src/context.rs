@@ -1,0 +1,290 @@
+//! The CKKS context: parameters, chain, encoder, pool, and key management.
+
+use crate::chain::{ChainError, ModulusChain};
+use crate::ciphertext::Ciphertext;
+use crate::encoding::{Encoder, Plaintext};
+use crate::eval::Evaluator;
+use crate::keys::{self, EvaluationKey, KeySwitchKey, PublicKey, SecretKey};
+use crate::params::CkksParams;
+use crate::sampling;
+use bp_math::crt::{centered_to_f64, crt_reconstruct};
+use bp_math::FactoredScale;
+use bp_rns::{PrimePool, RnsPoly};
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Errors from context construction.
+#[derive(Debug)]
+pub enum ContextError {
+    /// The modulus chain could not be built.
+    Chain(ChainError),
+    /// The parameter combination is structurally valid but this software
+    /// implementation cannot execute it (e.g. words wider than 61 bits,
+    /// which exceed the fast-arithmetic modulus bound).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ContextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContextError::Chain(e) => write!(f, "chain construction failed: {e}"),
+            ContextError::Unsupported(msg) => write!(f, "unsupported configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ContextError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ContextError::Chain(e) => Some(e),
+            ContextError::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<ChainError> for ContextError {
+    fn from(e: ChainError) -> Self {
+        ContextError::Chain(e)
+    }
+}
+
+/// A full key set: secret, public, and evaluation keys.
+#[derive(Debug, Clone)]
+pub struct KeySet {
+    /// The secret key (keep private!).
+    pub secret: SecretKey,
+    /// The public encryption key.
+    pub public: PublicKey,
+    /// Relinearization + rotation keys.
+    pub evaluation: EvaluationKey,
+}
+
+/// An executable CKKS instance: everything needed to encode, encrypt,
+/// compute, and decrypt.
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug)]
+pub struct CkksContext {
+    params: CkksParams,
+    pool: Arc<PrimePool>,
+    chain: ModulusChain,
+    encoder: Encoder,
+}
+
+impl CkksContext {
+    /// Builds a context (modulus chain + NTT machinery) for the parameters.
+    ///
+    /// # Errors
+    /// Returns [`ContextError::Chain`] if no modulus chain satisfies the
+    /// parameters, or [`ContextError::Unsupported`] if the word size
+    /// exceeds what the software arithmetic supports (61 bits; chains for
+    /// wider accelerator words can still be built directly via
+    /// [`ModulusChain::new`] for modeling purposes).
+    pub fn new(params: &CkksParams) -> Result<Self, ContextError> {
+        if params.word_bits() > 61 {
+            return Err(ContextError::Unsupported(format!(
+                "word size {} > 61 bits: software moduli must stay below 2^61 \
+                 (build the chain directly for accelerator modeling)",
+                params.word_bits()
+            )));
+        }
+        let chain = ModulusChain::new(params)?;
+        Ok(Self {
+            params: params.clone(),
+            pool: Arc::new(PrimePool::new(params.n())),
+            chain,
+            encoder: Encoder::new(params.n()),
+        })
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// The modulus chain.
+    pub fn chain(&self) -> &ModulusChain {
+        &self.chain
+    }
+
+    /// The shared NTT-table pool.
+    pub fn pool(&self) -> &PrimePool {
+        &self.pool
+    }
+
+    /// The encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Highest level of the chain.
+    pub fn max_level(&self) -> usize {
+        self.chain.max_level()
+    }
+
+    /// Creates an [`Evaluator`] bound to this context.
+    pub fn evaluator(&self) -> Evaluator<'_> {
+        Evaluator::new(self)
+    }
+
+    /// Generates a fresh key set (secret, public, relinearization).
+    pub fn keygen<R: Rng + ?Sized>(&self, rng: &mut R) -> KeySet {
+        let secret = keys::gen_secret(&self.pool, &self.chain, rng);
+        let public = keys::gen_public(&self.pool, &self.chain, &secret, rng);
+        let relin = keys::gen_relin(&self.pool, &self.chain, &secret, rng);
+        KeySet {
+            secret,
+            public,
+            evaluation: EvaluationKey {
+                relin,
+                rotations: HashMap::new(),
+                conjugation: None,
+            },
+        }
+    }
+
+    /// Generates rotation keys for the given step counts and adds them to
+    /// the key set.
+    pub fn gen_rotation_keys<R: Rng + ?Sized>(
+        &self,
+        ks: &mut KeySet,
+        steps: &[i64],
+        rng: &mut R,
+    ) {
+        let order = (self.params.n() / 2) as i64;
+        for &st in steps {
+            let norm = st.rem_euclid(order);
+            if ks.evaluation.rotations.contains_key(&norm) {
+                continue;
+            }
+            let key: KeySwitchKey =
+                keys::gen_rotation(&self.pool, &self.chain, &ks.secret, norm, rng);
+            ks.evaluation.rotations.insert(norm, key);
+        }
+    }
+
+    /// Generates the conjugation key and adds it to the key set.
+    pub fn gen_conjugation_key<R: Rng + ?Sized>(&self, ks: &mut KeySet, rng: &mut R) {
+        if ks.evaluation.conjugation.is_none() {
+            ks.evaluation.conjugation =
+                Some(keys::gen_conjugation(&self.pool, &self.chain, &ks.secret, rng));
+        }
+    }
+
+    /// Encodes real values at `level`, using the chain's exact scale for
+    /// that level.
+    ///
+    /// # Panics
+    /// Panics if more values than slots are supplied or `level` is out of
+    /// range.
+    pub fn encode(&self, vals: &[f64], level: usize) -> Plaintext {
+        self.encode_at_scale(vals, level, self.chain.scale_at(level).clone())
+    }
+
+    /// Encodes real values at `level` with an explicit scale.
+    pub fn encode_at_scale(&self, vals: &[f64], level: usize, scale: FactoredScale) -> Plaintext {
+        let coeffs = self.encoder.embed(vals, scale.to_f64());
+        let poly = RnsPoly::from_i128_coeffs(&self.pool, self.chain.moduli_at(level), &coeffs);
+        Plaintext {
+            poly,
+            scale,
+            level,
+        }
+    }
+
+    /// Decodes a plaintext back to real values (one per slot).
+    pub fn decode(&self, pt: &Plaintext) -> Vec<f64> {
+        let mut poly = pt.poly.clone();
+        poly.to_coeff();
+        let moduli = poly.moduli();
+        let q = bp_math::BigUint::product_of(&moduli);
+        let n = poly.n();
+        let scale = pt.scale.to_f64();
+        let mut coeffs = vec![0i128; n];
+        for i in 0..n {
+            let residues: Vec<u64> = poly.residues().iter().map(|r| r.coeffs()[i]).collect();
+            let wide = crt_reconstruct(&residues, &moduli);
+            // Values fit in f64 range after centering; i128 keeps enough
+            // precision for the encoder's unembed.
+            let centered = centered_to_f64(&wide, &q);
+            coeffs[i] = centered as i128;
+        }
+        self.encoder.unembed(&coeffs, scale)
+    }
+
+    /// Encrypts a plaintext under the public key.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        pt: &Plaintext,
+        pk: &PublicKey,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let basis = self.chain.moduli_at(pt.level);
+        let mut u = sampling::ternary_poly(&self.pool, basis, rng);
+        u.to_ntt();
+        let mut e0 = sampling::gaussian_poly(&self.pool, basis, rng);
+        let mut e1 = sampling::gaussian_poly(&self.pool, basis, rng);
+        e0.to_ntt();
+        e1.to_ntt();
+        let mut m = pt.poly.clone();
+        m.to_ntt();
+
+        let b = pk.b.restricted(basis);
+        let a = pk.a.restricted(basis);
+        let mut c0 = b.mul(&u);
+        c0.add_assign(&e0);
+        c0.add_assign(&m);
+        let mut c1 = a.mul(&u);
+        c1.add_assign(&e1);
+        Ciphertext::new(c0, c1, pt.level, pt.scale.clone())
+    }
+
+    /// Encrypts a plaintext under the secret key (smaller noise; used by
+    /// tests and the reference bootstrap).
+    pub fn encrypt_symmetric<R: Rng + ?Sized>(
+        &self,
+        pt: &Plaintext,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let basis = self.chain.moduli_at(pt.level);
+        let a = sampling::uniform_poly(&self.pool, basis, rng);
+        let mut e = sampling::gaussian_poly(&self.pool, basis, rng);
+        e.to_ntt();
+        let mut m = pt.poly.clone();
+        m.to_ntt();
+
+        let s = sk.s.restricted(basis);
+        // c0 = -a*s + e + m
+        let mut c0 = a.mul(&s).neg();
+        c0.add_assign(&e);
+        c0.add_assign(&m);
+        Ciphertext::new(c0, a, pt.level, pt.scale.clone())
+    }
+
+    /// Decrypts a ciphertext: `m ≈ c0 + c1·s`.
+    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Plaintext {
+        let basis = ct.moduli();
+        let s = sk.s.restricted(&basis);
+        let mut m = ct.c1.mul(&s);
+        m.add_assign(&ct.c0);
+        Plaintext {
+            poly: m,
+            scale: ct.scale.clone(),
+            level: ct.level,
+        }
+    }
+
+    /// Convenience: decrypt + decode, truncated to `count` values.
+    pub fn decrypt_to_values(
+        &self,
+        ct: &Ciphertext,
+        sk: &SecretKey,
+        count: usize,
+    ) -> Vec<f64> {
+        let mut v = self.decode(&self.decrypt(ct, sk));
+        v.truncate(count);
+        v
+    }
+}

@@ -1,0 +1,294 @@
+//! Homomorphic operations: add, multiply, rotate, and keyswitching.
+//!
+//! Everything here is representation-agnostic — BitPacker changes *only*
+//! level management (paper Sec. 3.2: "all other operations are exactly the
+//! same as in RNS-CKKS"). The hybrid keyswitch works over whatever residue
+//! basis the ciphertext currently has, which is what lets the same
+//! machinery serve both representations.
+
+use crate::chain::ModulusChain;
+use crate::ciphertext::Ciphertext;
+use crate::context::CkksContext;
+use crate::encoding::Plaintext;
+use crate::keys::{galois_element, EvaluationKey, KeySwitchKey};
+use crate::levels;
+use bp_rns::basis::BasisConverter;
+use bp_rns::rescale::scale_down;
+use bp_rns::{Domain, RnsPoly};
+
+/// Operation dispatcher bound to a [`CkksContext`].
+///
+/// Created via [`CkksContext::evaluator`].
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'a> {
+    ctx: &'a CkksContext,
+}
+
+impl<'a> Evaluator<'a> {
+    pub(crate) fn new(ctx: &'a CkksContext) -> Self {
+        Self { ctx }
+    }
+
+    fn chain(&self) -> &ModulusChain {
+        self.ctx.chain()
+    }
+
+    fn assert_aligned(&self, a: &Ciphertext, b: &Ciphertext) {
+        assert_eq!(a.level, b.level, "operands at different levels");
+        assert_eq!(
+            a.scale, b.scale,
+            "operands at different scales; adjust first"
+        );
+    }
+
+    /// Homomorphic elementwise addition.
+    ///
+    /// # Panics
+    /// Panics if levels or scales differ (use [`Evaluator::adjust_to`]).
+    #[must_use]
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.assert_aligned(a, b);
+        Ciphertext::new(
+            a.c0.add(&b.c0),
+            a.c1.add(&b.c1),
+            a.level,
+            a.scale.clone(),
+        )
+    }
+
+    /// Homomorphic elementwise subtraction.
+    ///
+    /// # Panics
+    /// Panics if levels or scales differ.
+    #[must_use]
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.assert_aligned(a, b);
+        Ciphertext::new(
+            a.c0.sub(&b.c0),
+            a.c1.sub(&b.c1),
+            a.level,
+            a.scale.clone(),
+        )
+    }
+
+    /// Adds an (unencrypted) plaintext to a ciphertext.
+    ///
+    /// # Panics
+    /// Panics if the plaintext level or scale does not match.
+    #[must_use]
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level, pt.level, "plaintext level mismatch");
+        assert_eq!(a.scale, pt.scale, "plaintext scale mismatch");
+        let mut p = pt.poly.clone();
+        p.to_ntt();
+        Ciphertext::new(a.c0.add(&p), a.c1.clone(), a.level, a.scale.clone())
+    }
+
+    /// Multiplies a ciphertext by a plaintext (no relinearization needed;
+    /// paper Sec. 2.2 — "multiply allows one operand to be unencrypted").
+    /// The result's scale is the product of the operand scales.
+    ///
+    /// # Panics
+    /// Panics if the plaintext level does not match.
+    #[must_use]
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level, pt.level, "plaintext level mismatch");
+        let mut p = pt.poly.clone();
+        p.to_ntt();
+        Ciphertext::new(
+            a.c0.mul(&p),
+            a.c1.mul(&p),
+            a.level,
+            a.scale.mul(&pt.scale),
+        )
+    }
+
+    /// Homomorphic ciphertext–ciphertext multiplication with
+    /// relinearization. The result's scale is `S_a · S_b`; follow with
+    /// [`Evaluator::rescale`] to bring it back to the level scale.
+    ///
+    /// # Panics
+    /// Panics if the operands' levels differ.
+    #[must_use]
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, ek: &EvaluationKey) -> Ciphertext {
+        assert_eq!(a.level, b.level, "operands at different levels");
+        let d0 = a.c0.mul(&b.c0);
+        let mut d1 = a.c0.mul(&b.c1);
+        d1.add_assign(&a.c1.mul(&b.c0));
+        let d2 = a.c1.mul(&b.c1);
+        let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin);
+        Ciphertext::new(
+            d0.add(&ks_b),
+            d1.add(&ks_a),
+            a.level,
+            a.scale.mul(&b.scale),
+        )
+    }
+
+    /// Homomorphic squaring (saves one polynomial product vs. `mul`).
+    #[must_use]
+    pub fn square(&self, a: &Ciphertext, ek: &EvaluationKey) -> Ciphertext {
+        let d0 = a.c0.mul(&a.c0);
+        let mut d1 = a.c0.mul(&a.c1);
+        d1.add_assign(&d1.clone());
+        let d2 = a.c1.mul(&a.c1);
+        let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin);
+        Ciphertext::new(d0.add(&ks_b), d1.add(&ks_a), a.level, a.scale.square())
+    }
+
+    /// Homomorphic slot rotation by `steps` (positive = left).
+    ///
+    /// # Panics
+    /// Panics if no rotation key for `steps` exists in `ek` (generate with
+    /// [`CkksContext::gen_rotation_keys`]).
+    #[must_use]
+    pub fn rotate(&self, a: &Ciphertext, steps: i64, ek: &EvaluationKey) -> Ciphertext {
+        let n = self.ctx.params().n();
+        let order = (n / 2) as i64;
+        let key = ek
+            .rotations
+            .get(&steps.rem_euclid(order))
+            .unwrap_or_else(|| panic!("no rotation key for {steps} steps"));
+        let t = galois_element(steps, n);
+
+        let rot = |p: &RnsPoly| -> RnsPoly {
+            let mut c = p.clone();
+            c.to_coeff();
+            let mut r = c.automorphism(t);
+            r.to_ntt();
+            r
+        };
+        let c0t = rot(&a.c0);
+        let c1t = rot(&a.c1);
+        let (ks_b, ks_a) = self.apply_ksk(&c1t, key);
+        Ciphertext::new(c0t.add(&ks_b), ks_a, a.level, a.scale.clone())
+    }
+
+    /// Homomorphic negation.
+    #[must_use]
+    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        Ciphertext::new(a.c0.neg(), a.c1.neg(), a.level, a.scale.clone())
+    }
+
+    /// Subtracts a plaintext from a ciphertext.
+    ///
+    /// # Panics
+    /// Panics if the plaintext level or scale does not match.
+    #[must_use]
+    pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level, pt.level, "plaintext level mismatch");
+        assert_eq!(a.scale, pt.scale, "plaintext scale mismatch");
+        let mut p = pt.poly.clone();
+        p.to_ntt();
+        Ciphertext::new(a.c0.sub(&p), a.c1.clone(), a.level, a.scale.clone())
+    }
+
+    /// Complex conjugation of the slot values (the Galois automorphism
+    /// `X → X^{2N−1}`). Requires the conjugation key (see
+    /// [`CkksContext::gen_conjugation_key`]).
+    ///
+    /// # Panics
+    /// Panics if no conjugation key exists in `ek`.
+    #[must_use]
+    pub fn conjugate(&self, a: &Ciphertext, ek: &EvaluationKey) -> Ciphertext {
+        let n = self.ctx.params().n();
+        let t = 2 * n - 1;
+        let key = ek
+            .conjugation
+            .as_ref()
+            .expect("no conjugation key; call gen_conjugation_key first");
+        let rot = |p: &bp_rns::RnsPoly| -> bp_rns::RnsPoly {
+            let mut c = p.clone();
+            c.to_coeff();
+            let mut r = c.automorphism(t);
+            r.to_ntt();
+            r
+        };
+        let c0t = rot(&a.c0);
+        let c1t = rot(&a.c1);
+        let (ks_b, ks_a) = self.apply_ksk(&c1t, key);
+        Ciphertext::new(c0t.add(&ks_b), ks_a, a.level, a.scale.clone())
+    }
+
+    /// Rescales to the next level down (dispatches to the representation's
+    /// rescale; paper Listings 1 and 4).
+    #[must_use]
+    pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        let mut ct = a.clone();
+        levels::rescale(&mut ct, self.chain(), self.ctx.pool());
+        ct
+    }
+
+    /// Adjusts down to `target_level` (paper Listings 2 and 6), preserving
+    /// the encrypted values and landing on the chain scale so the result
+    /// can be added to rescaled ciphertexts.
+    #[must_use]
+    pub fn adjust_to(&self, a: &Ciphertext, target_level: usize) -> Ciphertext {
+        let mut ct = a.clone();
+        levels::adjust_to(&mut ct, self.chain(), self.ctx.pool(), target_level);
+        ct
+    }
+
+    /// Hybrid keyswitch: takes `d` (over the current level's basis, NTT
+    /// domain) encrypted under the keyswitch key's source secret and
+    /// returns `(b, a)` with `b + a·s ≈ d·s'`.
+    ///
+    /// Per digit: slice the active residues, mod-up to the extended basis
+    /// `Q_ℓ ∪ P` (a CRB operation), inner-product with the key, then
+    /// mod-down by the special primes `P` (another CRB; paper Sec. 4.3).
+    pub(crate) fn apply_ksk(&self, d: &RnsPoly, ksk: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
+        let pool = self.ctx.pool();
+        let active = d.moduli();
+        let special = self.chain().special().to_vec();
+        let mut f_l = active.clone();
+        f_l.extend_from_slice(&special);
+
+        let mut acc_b = RnsPoly::zero(pool, &f_l, Domain::Ntt);
+        let mut acc_a = RnsPoly::zero(pool, &f_l, Domain::Ntt);
+
+        for digit in &ksk.digits {
+            let c_j: Vec<u64> = digit
+                .moduli
+                .iter()
+                .copied()
+                .filter(|q| active.contains(q))
+                .collect();
+            if c_j.is_empty() {
+                continue;
+            }
+            let src = d.restricted(&c_j);
+            let rest: Vec<u64> = f_l.iter().copied().filter(|q| !c_j.contains(q)).collect();
+            let ext = if rest.is_empty() {
+                src.clone()
+            } else {
+                let src_tables: Vec<_> = c_j.iter().map(|&q| pool.table(q)).collect();
+                let dst_tables: Vec<_> = rest.iter().map(|&q| pool.table(q)).collect();
+                let conv = BasisConverter::new(&src_tables, &dst_tables);
+                let mut converted = conv.convert_from(src.residues(), Domain::Ntt, Domain::Ntt);
+                // Assemble in f_l order: originals where present, converted
+                // otherwise.
+                let mut residues = Vec::with_capacity(f_l.len());
+                for &q in &f_l {
+                    if let Some(pos) = c_j.iter().position(|&c| c == q) {
+                        residues.push(src.residue(pos).clone());
+                    } else {
+                        let pos = rest.iter().position(|&r| r == q).expect("in rest");
+                        residues.push(std::mem::replace(
+                            &mut converted[pos],
+                            bp_rns::ResiduePoly::zero(pool.table(q)),
+                        ));
+                    }
+                }
+                RnsPoly::from_residues(Domain::Ntt, residues)
+            };
+            let kb = digit.b.restricted(&f_l);
+            let ka = digit.a.restricted(&f_l);
+            acc_b.add_assign(&ext.mul(&kb));
+            acc_a.add_assign(&ext.mul(&ka));
+        }
+
+        scale_down(&mut acc_b, &special);
+        scale_down(&mut acc_a, &special);
+        (acc_b, acc_a)
+    }
+}

@@ -1,0 +1,235 @@
+//! Key material: secret, public, and keyswitching keys.
+//!
+//! Keyswitching keys use the hybrid (multi-digit) construction: the
+//! keyswitch basis `U` (the ordered union of every level's moduli) is
+//! partitioned into `dnum` digits, and each digit `j` stores an encryption
+//! of `P̃·D̃ⱼ·s'` under `s`, where `P̃ = ∏ special primes` and
+//! `D̃ⱼ = (U/Dⱼ)·[(U/Dⱼ)⁻¹ mod Dⱼ]` is the CRT reconstruction constant.
+//! Because `D̃ⱼ ≡ 1 (mod Dⱼ)` and `≡ 0` modulo every other basis prime,
+//! the same keys serve *every* level — including BitPacker levels whose
+//! active moduli are an arbitrary subset of `U` (this is what lets
+//! BitPacker reuse unchanged accelerator keyswitching, paper Sec. 4.3).
+
+use crate::chain::ModulusChain;
+use crate::sampling;
+use bp_math::crt::crt_reconstruct;
+use bp_math::{BigUint, Modulus};
+use bp_rns::{PrimePool, RnsPoly};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The secret key: a ternary polynomial over the full basis `U ∪ P`.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    pub(crate) s: RnsPoly,
+}
+
+/// The public encryption key `(b, a)` with `b = −a·s + e` over the full
+/// basis.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    pub(crate) b: RnsPoly,
+    pub(crate) a: RnsPoly,
+}
+
+/// One keyswitching digit: the primes it covers and the key pair.
+#[derive(Debug, Clone)]
+pub(crate) struct KskDigit {
+    /// The digit's primes `Dⱼ ⊆ U`.
+    pub moduli: Vec<u64>,
+    pub b: RnsPoly,
+    pub a: RnsPoly,
+}
+
+/// A keyswitching key: converts a polynomial encrypted under some `s'`
+/// (e.g. `s²` for relinearization, `φₜ(s)` for rotations) into one under
+/// `s`.
+#[derive(Debug, Clone)]
+pub struct KeySwitchKey {
+    pub(crate) digits: Vec<KskDigit>,
+}
+
+impl KeySwitchKey {
+    /// Number of nonempty digits.
+    pub fn num_digits(&self) -> usize {
+        self.digits.len()
+    }
+}
+
+/// Evaluation keys: relinearization plus any generated rotation keys.
+#[derive(Debug, Clone)]
+pub struct EvaluationKey {
+    pub(crate) relin: KeySwitchKey,
+    pub(crate) rotations: HashMap<i64, KeySwitchKey>,
+    pub(crate) conjugation: Option<KeySwitchKey>,
+}
+
+impl EvaluationKey {
+    /// Rotation steps for which keys exist.
+    pub fn rotation_steps(&self) -> Vec<i64> {
+        let mut v: Vec<i64> = self.rotations.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Full basis (keyswitch basis followed by special primes).
+pub(crate) fn full_basis(chain: &ModulusChain) -> Vec<u64> {
+    let mut f = chain.keyswitch_basis().to_vec();
+    f.extend_from_slice(chain.special());
+    f
+}
+
+/// Samples a fresh secret key.
+pub(crate) fn gen_secret<R: Rng + ?Sized>(
+    pool: &PrimePool,
+    chain: &ModulusChain,
+    rng: &mut R,
+) -> SecretKey {
+    let mut s = sampling::ternary_poly(pool, &full_basis(chain), rng);
+    s.to_ntt();
+    SecretKey { s }
+}
+
+/// Derives the public key from the secret key.
+pub(crate) fn gen_public<R: Rng + ?Sized>(
+    pool: &PrimePool,
+    chain: &ModulusChain,
+    sk: &SecretKey,
+    rng: &mut R,
+) -> PublicKey {
+    let basis = full_basis(chain);
+    let a = sampling::uniform_poly(pool, &basis, rng);
+    let mut e = sampling::gaussian_poly(pool, &basis, rng);
+    e.to_ntt();
+    // b = -a*s + e
+    let mut b = a.mul(&sk.s).neg();
+    b.add_assign(&e);
+    PublicKey { b, a }
+}
+
+/// Generates a keyswitching key from `source` (a polynomial over the full
+/// basis, NTT domain, playing the role of `s'`) to `sk`.
+pub(crate) fn gen_ksk<R: Rng + ?Sized>(
+    pool: &PrimePool,
+    chain: &ModulusChain,
+    sk: &SecretKey,
+    source: &RnsPoly,
+    rng: &mut R,
+) -> KeySwitchKey {
+    let basis = full_basis(chain);
+    let u: &[u64] = chain.keyswitch_basis();
+    let digit_of = chain.digit_assignment();
+    let u_prod = BigUint::product_of(u);
+    let p_tilde = BigUint::product_of(chain.special());
+
+    let mut digits = Vec::new();
+    for j in 0..chain.dnum() {
+        let d_j: Vec<u64> = u
+            .iter()
+            .zip(digit_of)
+            .filter(|&(_, &d)| d == j)
+            .map(|(&q, _)| q)
+            .collect();
+        if d_j.is_empty() {
+            continue;
+        }
+        // D̃ⱼ = (U/Dⱼ) · [(U/Dⱼ)⁻¹ mod Dⱼ], with the inverse reconstructed
+        // from its per-prime inverses (no big-integer egcd needed).
+        let d_prod = BigUint::product_of(&d_j);
+        let (u_div_d, rem) = u_prod.div_rem(&d_prod);
+        debug_assert!(rem.is_zero());
+        let y_res: Vec<u64> = d_j
+            .iter()
+            .map(|&p| {
+                let m = Modulus::new(p);
+                m.inv(u_div_d.rem_u64(p)).expect("basis primes coprime")
+            })
+            .collect();
+        let y = crt_reconstruct(&y_res, &d_j);
+        let t_j = p_tilde.mul(&u_div_d).mul(&y);
+
+        let a = sampling::uniform_poly(pool, &basis, rng);
+        let mut e = sampling::gaussian_poly(pool, &basis, rng);
+        e.to_ntt();
+        // b = t_j * source - a*s + e
+        let mut b = source.clone();
+        b.mul_biguint(&t_j);
+        b.sub_assign(&a.mul(&sk.s));
+        b.add_assign(&e);
+        digits.push(KskDigit { moduli: d_j, b, a });
+    }
+    KeySwitchKey { digits }
+}
+
+/// Generates the relinearization key (source key `s²`).
+pub(crate) fn gen_relin<R: Rng + ?Sized>(
+    pool: &PrimePool,
+    chain: &ModulusChain,
+    sk: &SecretKey,
+    rng: &mut R,
+) -> KeySwitchKey {
+    let s2 = sk.s.mul(&sk.s);
+    gen_ksk(pool, chain, sk, &s2, rng)
+}
+
+/// The Galois element for a rotation by `steps` slots: `5^steps mod 2N`.
+pub(crate) fn galois_element(steps: i64, n: usize) -> usize {
+    let order = (n / 2) as i64; // the rotation group ⟨5⟩ has order N/2
+    let k = steps.rem_euclid(order) as u64;
+    let two_n = 2 * n as u64;
+    bp_math::primes::pow_mod_u64(5, k, two_n) as usize
+}
+
+/// Generates the conjugation key (source key `φ_{2N−1}(s)`).
+pub(crate) fn gen_conjugation<R: Rng + ?Sized>(
+    pool: &PrimePool,
+    chain: &ModulusChain,
+    sk: &SecretKey,
+    rng: &mut R,
+) -> KeySwitchKey {
+    let t = 2 * pool.n() - 1;
+    let mut s_coeff = sk.s.clone();
+    s_coeff.to_coeff();
+    let mut s_t = s_coeff.automorphism(t);
+    s_t.to_ntt();
+    gen_ksk(pool, chain, sk, &s_t, rng)
+}
+
+/// Generates the rotation key for `steps` (source key `φₜ(s)`).
+pub(crate) fn gen_rotation<R: Rng + ?Sized>(
+    pool: &PrimePool,
+    chain: &ModulusChain,
+    sk: &SecretKey,
+    steps: i64,
+    rng: &mut R,
+) -> KeySwitchKey {
+    let t = galois_element(steps, pool.n());
+    let mut s_coeff = sk.s.clone();
+    s_coeff.to_coeff();
+    let mut s_t = s_coeff.automorphism(t);
+    s_t.to_ntt();
+    gen_ksk(pool, chain, sk, &s_t, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn galois_elements_are_odd_and_periodic() {
+        let n = 1 << 6;
+        for steps in [0i64, 1, 5, -1, 31] {
+            let t = galois_element(steps, n);
+            assert_eq!(t % 2, 1, "Galois element must be odd");
+        }
+        assert_eq!(galois_element(0, n), 1);
+        // Rotating by the full slot count is the identity.
+        assert_eq!(galois_element((n / 2) as i64, n), 1);
+        // Negative steps wrap.
+        assert_eq!(
+            galois_element(-1, n),
+            galois_element((n / 2 - 1) as i64, n)
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Level management: rescale and adjust for both representations.
+//!
+//! This module is the functional core of the paper's contribution:
+//!
+//! * RNS-CKKS rescale (paper Listing 1) sheds the current level's residue
+//!   group one prime at a time; RNS-CKKS adjust (Listing 2, Kim et al.'s
+//!   reduced-error variant) pre-multiplies by `K = q·S_{L−1}/S_L` so that
+//!   adjusted and rescaled ciphertexts land on *identical* scales.
+//! * BitPacker rescale (`bpRescale`, Listing 4) first **scales up** by the
+//!   destination level's new terminal moduli, then **scales down** by the
+//!   moduli that exist only at the source level; BitPacker adjust
+//!   (`bpAdjust`, Listing 6) pre-multiplies by
+//!   `K = (Q_L/Q_{L−1})·(S_{L−1}/S_L)` and reuses `bpRescale`.
+//!
+//! Both adjusts round their exact rational constant `K` to the nearest
+//! integer; that rounding is the only approximation and is what the
+//! precision experiments (paper Figs. 18–19) measure.
+
+use crate::chain::ModulusChain;
+use crate::ciphertext::Ciphertext;
+use crate::params::Representation;
+use bp_math::FactoredScale;
+use bp_rns::rescale::{rns_rescale_once, scale_down, scale_up};
+use bp_rns::PrimePool;
+
+/// Rescales a ciphertext from its level `L` to `L−1`, dispatching to the
+/// chain's representation. The scale drops by `∏ shed / ∏ added` — after a
+/// multiplication this resets `S²` back to ≈ the target scale.
+///
+/// # Panics
+/// Panics if the ciphertext is at level 0.
+pub fn rescale(ct: &mut Ciphertext, chain: &ModulusChain, pool: &PrimePool) {
+    match chain.representation() {
+        Representation::RnsCkks => rns_rescale_ct(ct, chain),
+        Representation::BitPacker => bp_rescale_ct(ct, chain, pool),
+    }
+    canonicalize(ct, chain);
+}
+
+/// Adjusts a ciphertext from level `L` to `L−1` **without** halving its
+/// scale exponent: the result has the same modulus *and the same scale* as
+/// a rescaled product at `L−1`, so the two can be added (paper Sec. 2.2).
+///
+/// # Panics
+/// Panics if the ciphertext is at level 0.
+pub fn adjust_one(ct: &mut Ciphertext, chain: &ModulusChain, pool: &PrimePool) {
+    let l = ct.level;
+    assert!(l > 0, "cannot adjust below level 0");
+    // K = (Q_L / Q_{L-1}) * (S_{L-1} / S_L); in RNS-CKKS Q_L/Q_{L-1} is just
+    // the shed group, so this specializes to Listing 2's q_{L-1}*S_{L-1}/S_L.
+    let mut k = FactoredScale::one();
+    for q in chain.shed_between(l) {
+        k = k.mul_prime(q);
+    }
+    for q in chain.added_between(l) {
+        k = k.div_prime(q);
+    }
+    k = k.mul(chain.scale_at(l - 1)).div(chain.scale_at(l));
+    let k_int = k.round_to_biguint();
+    ct.c0.mul_biguint(&k_int);
+    ct.c1.mul_biguint(&k_int);
+    // Bookkeeping uses the exact rational; the integer rounding of K is the
+    // (measured) approximation error.
+    ct.scale = ct.scale.mul(&k);
+    match chain.representation() {
+        Representation::RnsCkks => rns_rescale_ct(ct, chain),
+        Representation::BitPacker => bp_rescale_ct(ct, chain, pool),
+    }
+    canonicalize(ct, chain);
+}
+
+/// Adjusts a ciphertext down to `target_level` by repeated single-level
+/// adjusts.
+///
+/// The paper's multi-level adjust first drops residues while the modulus
+/// exceeds the target's and then applies one adjust; iterating the
+/// single-level adjust is functionally equivalent (identical final modulus
+/// and scale) and is what we use here — the cost difference is captured by
+/// the accelerator model, not the functional library.
+///
+/// # Panics
+/// Panics if `target_level` exceeds the ciphertext's level.
+pub fn adjust_to(ct: &mut Ciphertext, chain: &ModulusChain, pool: &PrimePool, target_level: usize) {
+    assert!(
+        target_level <= ct.level,
+        "cannot adjust upward ({} -> {target_level})",
+        ct.level
+    );
+    while ct.level > target_level {
+        adjust_one(ct, chain, pool);
+    }
+}
+
+/// The original (approximate) RNS-CKKS adjust — "mod-down" — which simply
+/// discards residues without fixing up the scale (paper Sec. 2.3). Kept as
+/// an ablation: its error is negligible for ~50-bit moduli but harmful for
+/// ~30-bit ones, which is why Kim et al.'s adjust (implemented in
+/// [`adjust_one`]) is the baseline the paper evaluates.
+///
+/// Only meaningful for RNS-CKKS chains (BitPacker levels are not subsets).
+///
+/// # Panics
+/// Panics if the chain is a BitPacker chain or the ciphertext is at level 0.
+pub fn mod_down_adjust(ct: &mut Ciphertext, chain: &ModulusChain) {
+    assert_eq!(
+        chain.representation(),
+        Representation::RnsCkks,
+        "mod-down requires nested (RNS-CKKS) levels"
+    );
+    let l = ct.level;
+    assert!(l > 0);
+    let shed = chain.shed_between(l);
+    let _ = ct.c0.extract_residues(&shed);
+    let _ = ct.c1.extract_residues(&shed);
+    // The underlying values and the *claimed* scale are unchanged; the
+    // mismatch against the true scale at L-1 is mod-down's error.
+    ct.level = l - 1;
+    ct.scale = chain.scale_at(l - 1).clone();
+}
+
+fn rns_rescale_ct(ct: &mut Ciphertext, chain: &ModulusChain) {
+    let l = ct.level;
+    assert!(l > 0, "cannot rescale below level 0");
+    let shed = chain.shed_between(l);
+    debug_assert!(chain.added_between(l).is_empty());
+    // Listing 1 semantics: shed one residue at a time. The chain appends
+    // level groups at the end, so the shed primes are the trailing residues.
+    for &q in shed.iter().rev() {
+        let last = *ct.c0.moduli().last().expect("nonempty");
+        assert_eq!(last, q, "chain order violated");
+        rns_rescale_once(&mut ct.c0);
+        rns_rescale_once(&mut ct.c1);
+        ct.scale = ct.scale.div_prime(q);
+    }
+    ct.level = l - 1;
+}
+
+fn bp_rescale_ct(ct: &mut Ciphertext, chain: &ModulusChain, pool: &PrimePool) {
+    let l = ct.level;
+    assert!(l > 0, "cannot rescale below level 0");
+    let added = chain.added_between(l);
+    let shed = chain.shed_between(l);
+    let added_tables: Vec<_> = added.iter().map(|&q| pool.table(q)).collect();
+    for poly in [&mut ct.c0, &mut ct.c1] {
+        if !added_tables.is_empty() {
+            scale_up(poly, &added_tables);
+        }
+        scale_down(poly, &shed);
+    }
+    for &q in &added {
+        ct.scale = ct.scale.mul_prime(q);
+    }
+    for &q in &shed {
+        ct.scale = ct.scale.div_prime(q);
+    }
+    ct.level = l - 1;
+}
+
+/// Reorders residues to the chain's canonical order for the current level,
+/// so ciphertexts produced by different paths stay layout-compatible.
+fn canonicalize(ct: &mut Ciphertext, chain: &ModulusChain) {
+    let want = chain.moduli_at(ct.level);
+    if ct.c0.moduli() != want {
+        ct.c0 = ct.c0.restricted(want);
+        ct.c1 = ct.c1.restricted(want);
+    }
+}
+
+/// Reference "bootstrap": re-encrypts the ciphertext's current value at the
+/// top of the chain (DESIGN.md substitution #3b). Requires the secret key,
+/// so it is a *testing* facility: it restores the modulus (like a real
+/// bootstrap does, paper Fig. 3) without implementing the full
+/// homomorphic-mod pipeline.
+pub fn reference_bootstrap<R: rand::Rng + ?Sized>(
+    ct: &Ciphertext,
+    ctx: &crate::context::CkksContext,
+    sk: &crate::keys::SecretKey,
+    rng: &mut R,
+) -> Ciphertext {
+    let pt = ctx.decrypt(ct, sk);
+    let vals = ctx.decode(&pt);
+    let fresh = ctx.encode(&vals, ctx.max_level());
+    ctx.encrypt_symmetric(&fresh, sk, rng)
+}
+
+// Tests for this module live in `tests/` at the crate root (they need the
+// full context machinery) and in the integration suite.
+pub use adjust_one as adjust;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use crate::security::SecurityLevel;
+    use bp_rns::{Domain, RnsPoly};
+
+    fn small_chain(repr: Representation) -> (ModulusChain, PrimePool) {
+        let p = CkksParams::builder()
+            .log_n(4)
+            .word_bits(28)
+            .representation(repr)
+            .security(SecurityLevel::Insecure)
+            .levels(3, 26)
+            .base_modulus_bits(27)
+            .build()
+            .unwrap();
+        let chain = ModulusChain::new(&p).unwrap();
+        let pool = PrimePool::new(1 << 4);
+        (chain, pool)
+    }
+
+    fn dummy_ct(chain: &ModulusChain, pool: &PrimePool, level: usize) -> Ciphertext {
+        let moduli = chain.moduli_at(level);
+        let mut c0 = RnsPoly::from_i64_coeffs(pool, moduli, &[1234567, 89, 1011]);
+        let mut c1 = RnsPoly::from_i64_coeffs(pool, moduli, &[55, 66]);
+        c0.to_ntt();
+        c1.to_ntt();
+        Ciphertext::new(c0, c1, level, chain.scale_at(level).clone())
+    }
+
+    #[test]
+    fn rescale_moves_one_level_and_reorders_canonically() {
+        for repr in [Representation::RnsCkks, Representation::BitPacker] {
+            let (chain, pool) = small_chain(repr);
+            let mut ct = dummy_ct(&chain, &pool, chain.max_level());
+            // Pretend the ct was just multiplied: square the scale so
+            // rescale lands back on the chain scale.
+            ct.scale = ct.scale.square();
+            rescale(&mut ct, &chain, &pool);
+            assert_eq!(ct.level, chain.max_level() - 1);
+            assert_eq!(ct.moduli(), chain.moduli_at(ct.level), "{repr:?}");
+            let drift = (ct.scale.log2() - chain.scale_at(ct.level).log2()).abs();
+            assert!(drift < 1e-9, "{repr:?} scale drift {drift}");
+        }
+    }
+
+    #[test]
+    fn adjust_lands_on_rescaled_scale() {
+        for repr in [Representation::RnsCkks, Representation::BitPacker] {
+            let (chain, pool) = small_chain(repr);
+            let mut ct = dummy_ct(&chain, &pool, chain.max_level());
+            adjust_one(&mut ct, &chain, &pool);
+            assert_eq!(ct.level, chain.max_level() - 1);
+            // Exact bookkeeping: adjusted scale equals the chain scale.
+            assert_eq!(
+                ct.scale,
+                *chain.scale_at(ct.level),
+                "{repr:?}: {:?} vs {:?}",
+                ct.scale,
+                chain.scale_at(ct.level)
+            );
+        }
+    }
+
+    #[test]
+    fn adjust_to_reaches_level_zero() {
+        let (chain, pool) = small_chain(Representation::BitPacker);
+        let mut ct = dummy_ct(&chain, &pool, chain.max_level());
+        adjust_to(&mut ct, &chain, &pool, 0);
+        assert_eq!(ct.level, 0);
+        assert_eq!(ct.moduli(), chain.moduli_at(0));
+    }
+
+    #[test]
+    fn mod_down_discards_residues() {
+        let (chain, pool) = small_chain(Representation::RnsCkks);
+        let mut ct = dummy_ct(&chain, &pool, chain.max_level());
+        let before = ct.num_residues();
+        mod_down_adjust(&mut ct, &chain);
+        assert!(ct.num_residues() < before);
+        assert_eq!(ct.level, chain.max_level() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested")]
+    fn mod_down_rejected_for_bitpacker() {
+        let (chain, pool) = small_chain(Representation::BitPacker);
+        let mut ct = dummy_ct(&chain, &pool, chain.max_level());
+        mod_down_adjust(&mut ct, &chain);
+    }
+
+    #[test]
+    fn dummy_domain_is_ntt() {
+        let (chain, pool) = small_chain(Representation::BitPacker);
+        let ct = dummy_ct(&chain, &pool, 1);
+        assert_eq!(ct.c0.domain(), Domain::Ntt);
+    }
+}

@@ -1,0 +1,308 @@
+//! CKKS parameter sets.
+
+use crate::security::SecurityLevel;
+
+/// Which RNS representation the scheme uses for level management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Classic RNS-CKKS (Cheon et al. SAC'18): residue sizes are linked to
+    /// scales; one *group* of residues per level (multiple primes per level
+    /// when the scale exceeds the word size — "multiple-prime rescaling",
+    /// paper Sec. 2.3).
+    RnsCkks,
+    /// BitPacker (this paper): residues packed to the hardware word size,
+    /// with one or two sub-word *terminal* residues per level (Sec. 3).
+    BitPacker,
+}
+
+impl std::fmt::Display for Representation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Representation::RnsCkks => write!(f, "RNS-CKKS"),
+            Representation::BitPacker => write!(f, "BitPacker"),
+        }
+    }
+}
+
+/// Full parameter set for a CKKS context.
+///
+/// Construct with [`CkksParams::builder`]. The fields mirror the paper's
+/// Fig. 8: program constraints (levels, per-level target scales, minimum
+/// base modulus), security constraints (`N`, `Q_max` via
+/// [`SecurityLevel`]), and the hardware constraint (word width `w`).
+///
+/// # Example
+/// ```
+/// use bp_ckks::{CkksParams, Representation, SecurityLevel};
+/// let params = CkksParams::builder()
+///     .log_n(12)
+///     .word_bits(28)
+///     .representation(Representation::BitPacker)
+///     .security(SecurityLevel::Insecure)
+///     .levels(6, 40)
+///     .build()
+///     .unwrap();
+/// assert_eq!(params.max_level(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkksParams {
+    log_n: u32,
+    word_bits: u32,
+    representation: Representation,
+    security: SecurityLevel,
+    /// Target scale bits per level, index = level (0..=max_level).
+    target_scale_bits: Vec<u32>,
+    base_modulus_bits: u32,
+    dnum: usize,
+}
+
+/// Errors from [`CkksParamsBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamsError {
+    /// A field is outside its supported range.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsError::Invalid(msg) => write!(f, "invalid CKKS parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+impl CkksParams {
+    /// Starts building a parameter set.
+    pub fn builder() -> CkksParamsBuilder {
+        CkksParamsBuilder::default()
+    }
+
+    /// `log₂ N`.
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        1usize << self.log_n
+    }
+
+    /// Number of plaintext slots (`N/2`).
+    pub fn slots(&self) -> usize {
+        self.n() / 2
+    }
+
+    /// Hardware word width `w` in bits. Every residue modulus fits in `w`
+    /// bits.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// The RNS representation (BitPacker or baseline RNS-CKKS).
+    pub fn representation(&self) -> Representation {
+        self.representation
+    }
+
+    /// Target security level.
+    pub fn security(&self) -> SecurityLevel {
+        self.security
+    }
+
+    /// Highest level (ciphertexts start here; level 0 is the last usable).
+    pub fn max_level(&self) -> usize {
+        self.target_scale_bits.len() - 1
+    }
+
+    /// Target scale (in bits) at each level, indexed by level.
+    pub fn target_scale_bits(&self) -> &[u32] {
+        &self.target_scale_bits
+    }
+
+    /// Minimum bits of modulus that must remain at level 0 (`Q_min` in
+    /// Fig. 8) — what bootstrapping or decryption requires.
+    pub fn base_modulus_bits(&self) -> u32 {
+        self.base_modulus_bits
+    }
+
+    /// Number of keyswitching digits (paper Sec. 5 uses 1-, 2- and 3-digit
+    /// keyswitching).
+    pub fn dnum(&self) -> usize {
+        self.dnum
+    }
+
+    /// Smallest usable NTT-friendly prime width for this ring degree:
+    /// all such primes exceed `2N` (paper Sec. 3.3).
+    pub fn min_prime_bits(&self) -> u32 {
+        self.log_n + 2
+    }
+}
+
+/// Builder for [`CkksParams`].
+#[derive(Debug, Clone)]
+pub struct CkksParamsBuilder {
+    log_n: u32,
+    word_bits: u32,
+    representation: Representation,
+    security: SecurityLevel,
+    target_scale_bits: Vec<u32>,
+    base_modulus_bits: u32,
+    dnum: usize,
+}
+
+impl Default for CkksParamsBuilder {
+    fn default() -> Self {
+        Self {
+            log_n: 13,
+            word_bits: 28,
+            representation: Representation::BitPacker,
+            security: SecurityLevel::Bits128,
+            target_scale_bits: vec![40; 11],
+            base_modulus_bits: 60,
+            dnum: 3,
+        }
+    }
+}
+
+impl CkksParamsBuilder {
+    /// Sets `log₂ N` (ring degree exponent), 3..=17.
+    pub fn log_n(mut self, log_n: u32) -> Self {
+        self.log_n = log_n;
+        self
+    }
+
+    /// Sets the hardware word width in bits (residues must fit), 20..=64.
+    pub fn word_bits(mut self, w: u32) -> Self {
+        self.word_bits = w;
+        self
+    }
+
+    /// Selects the RNS representation.
+    pub fn representation(mut self, r: Representation) -> Self {
+        self.representation = r;
+        self
+    }
+
+    /// Selects the security level.
+    pub fn security(mut self, s: SecurityLevel) -> Self {
+        self.security = s;
+        self
+    }
+
+    /// Uses `max_level` levels with a uniform target scale of `scale_bits`.
+    pub fn levels(mut self, max_level: usize, scale_bits: u32) -> Self {
+        self.target_scale_bits = vec![scale_bits; max_level + 1];
+        self
+    }
+
+    /// Sets an explicit per-level scale schedule (index = level; length =
+    /// `max_level + 1`). This is how applications mix e.g. 45-bit compute
+    /// scales with 55/60-bit bootstrap scales (paper Sec. 2.2).
+    pub fn scale_schedule(mut self, bits_per_level: Vec<u32>) -> Self {
+        self.target_scale_bits = bits_per_level;
+        self
+    }
+
+    /// Sets the minimum level-0 modulus width in bits (`Q_min`).
+    pub fn base_modulus_bits(mut self, bits: u32) -> Self {
+        self.base_modulus_bits = bits;
+        self
+    }
+
+    /// Sets the number of keyswitching digits.
+    pub fn dnum(mut self, dnum: usize) -> Self {
+        self.dnum = dnum;
+        self
+    }
+
+    /// Validates and produces the parameter set.
+    ///
+    /// # Errors
+    /// Returns [`ParamsError::Invalid`] when a field is out of range or the
+    /// combination is unusable (e.g. scales narrower than any NTT-friendly
+    /// prime pair can represent).
+    pub fn build(self) -> Result<CkksParams, ParamsError> {
+        let err = |msg: String| Err(ParamsError::Invalid(msg));
+        if !(3..=17).contains(&self.log_n) {
+            return err(format!("log_n {} outside 3..=17", self.log_n));
+        }
+        if !(20..=64).contains(&self.word_bits) {
+            return err(format!("word_bits {} outside 20..=64", self.word_bits));
+        }
+        if self.target_scale_bits.is_empty() {
+            return err("scale schedule must have at least one level".into());
+        }
+        for (l, &t) in self.target_scale_bits.iter().enumerate() {
+            if !(20..=120).contains(&t) {
+                return err(format!("target scale {t} bits at level {l} outside 20..=120"));
+            }
+        }
+        if self.base_modulus_bits < self.log_n + 3 {
+            return err(format!(
+                "base modulus {} bits too small for N = 2^{}",
+                self.base_modulus_bits, self.log_n
+            ));
+        }
+        if self.dnum == 0 || self.dnum > 8 {
+            return err(format!("dnum {} outside 1..=8", self.dnum));
+        }
+        let min_prime_bits = self.log_n + 2;
+        if self.word_bits < min_prime_bits {
+            return err(format!(
+                "word width {} too narrow: smallest NTT-friendly prime for N = 2^{} needs {} bits",
+                self.word_bits, self.log_n, min_prime_bits
+            ));
+        }
+        Ok(CkksParams {
+            log_n: self.log_n,
+            word_bits: self.word_bits,
+            representation: self.representation,
+            security: self.security,
+            target_scale_bits: self.target_scale_bits,
+            base_modulus_bits: self.base_modulus_bits,
+            dnum: self.dnum,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let p = CkksParams::builder().build().unwrap();
+        assert_eq!(p.representation(), Representation::BitPacker);
+        assert_eq!(p.max_level(), 10);
+    }
+
+    #[test]
+    fn rejects_narrow_word_for_large_n() {
+        let r = CkksParams::builder().log_n(16).word_bits(17).build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_empty_schedule() {
+        let r = CkksParams::builder().scale_schedule(vec![]).build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn schedule_sets_max_level() {
+        let p = CkksParams::builder()
+            .scale_schedule(vec![30, 45, 45, 60])
+            .build()
+            .unwrap();
+        assert_eq!(p.max_level(), 3);
+        assert_eq!(p.target_scale_bits()[3], 60);
+    }
+
+    #[test]
+    fn min_prime_bits_tracks_n() {
+        let p = CkksParams::builder().log_n(16).build().unwrap();
+        // N = 2^16: NTT primes are ≡ 1 mod 2^17, hence ≥ 18 bits.
+        assert_eq!(p.min_prime_bits(), 18);
+    }
+}

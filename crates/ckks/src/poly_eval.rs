@@ -1,0 +1,318 @@
+//! Homomorphic polynomial evaluation.
+//!
+//! Polynomial evaluation is the workhorse of CKKS applications: activation
+//! functions in encrypted neural networks (ResNet-20's high-degree ReLU
+//! approximation, AESPA's degree-2 polynomials) and the `EvalMod` stage of
+//! bootstrapping all evaluate a polynomial on every slot. This module
+//! provides:
+//!
+//! * [`eval_power_basis`] — Horner-style evaluation for low degrees,
+//! * [`eval_bsgs`] — baby-step/giant-step evaluation with depth
+//!   `⌈log₂(deg+1)⌉`, the structure the accelerator traces assume for
+//!   EvalMod and deep activations,
+//! * [`chebyshev_coeffs`] — interpolation of a real function on `[-1, 1]`
+//!   into Chebyshev-basis coefficients (converted to the power basis for
+//!   evaluation).
+
+use crate::ciphertext::Ciphertext;
+use crate::context::CkksContext;
+use crate::keys::EvaluationKey;
+
+/// Evaluates `Σ coeffs[i] · x^i` on an encrypted `x` with Horner's rule.
+///
+/// Consumes `deg` multiplicative levels (one per multiply-accumulate), so
+/// it is best for small degrees; use [`eval_bsgs`] for anything deeper.
+///
+/// # Panics
+/// Panics if `coeffs` is empty or the ciphertext lacks the required
+/// levels.
+pub fn eval_power_basis(
+    ctx: &CkksContext,
+    ek: &EvaluationKey,
+    x: &Ciphertext,
+    coeffs: &[f64],
+) -> Ciphertext {
+    assert!(!coeffs.is_empty(), "need at least one coefficient");
+    let ev = ctx.evaluator();
+    let slots = ctx.params().slots();
+    let deg = coeffs.len() - 1;
+    assert!(
+        x.level() >= deg,
+        "degree {deg} needs {deg} levels, ciphertext has {}",
+        x.level()
+    );
+    // Horner: acc = c_deg; acc = acc*x + c_{i}.
+    let encode_const = |v: f64, level: usize| {
+        ctx.encode_at_scale(
+            &vec![v; slots],
+            level,
+            ctx.chain().scale_at(level).clone(),
+        )
+    };
+    // Start from c_deg * x + c_{deg-1} to keep acc encrypted.
+    let c_top = encode_const(coeffs[deg], x.level());
+    let mut acc = ev.rescale(&ev.mul_plain(x, &c_top));
+    let mut x_cur = ev.adjust_to(x, acc.level());
+    acc = ev.add_plain(&acc, &encode_const(coeffs[deg - 1], acc.level()));
+    for i in (0..deg - 1).rev() {
+        acc = ev.rescale(&ev.mul(&acc, &x_cur, ek));
+        if acc.level() > 0 && i > 0 {
+            x_cur = ev.adjust_to(&x_cur, acc.level());
+        } else {
+            x_cur = ev.adjust_to(&x_cur, acc.level());
+        }
+        acc = ev.add_plain(&acc, &encode_const(coeffs[i], acc.level()));
+    }
+    acc
+}
+
+/// Evaluates a polynomial with the baby-step/giant-step split:
+/// `p(x) = Σ_j q_j(x) · (x^m)^j` with `m ≈ √deg`, consuming
+/// `⌈log₂ m⌉ + ⌈log₂ (deg/m + 1)⌉ + 1` levels instead of `deg`.
+///
+/// This is the evaluation structure bootstrapping's EvalMod and deep
+/// activations use on accelerators (paper Sec. 5 benchmarks).
+///
+/// # Panics
+/// Panics if `coeffs` is empty or levels are insufficient.
+pub fn eval_bsgs(
+    ctx: &CkksContext,
+    ek: &EvaluationKey,
+    x: &Ciphertext,
+    coeffs: &[f64],
+) -> Ciphertext {
+    assert!(!coeffs.is_empty(), "need at least one coefficient");
+    let deg = coeffs.len() - 1;
+    if deg <= 3 {
+        return eval_power_basis(ctx, ek, x, coeffs);
+    }
+    let ev = ctx.evaluator();
+    let m = ((deg + 1) as f64).sqrt().ceil() as usize;
+
+    // Baby steps: powers x^1 .. x^m, computed by repeated squaring and
+    // products, all adjusted to a common level.
+    let mut powers: Vec<Option<Ciphertext>> = vec![None; m + 1];
+    powers[1] = Some(x.clone());
+    for i in 2..=m {
+        let half = i / 2;
+        let other = i - half;
+        let a = powers[half].clone().expect("filled in order");
+        let b = powers[other].clone().expect("filled in order");
+        let lvl = a.level().min(b.level());
+        let prod = ev.mul(&ev.adjust_to(&a, lvl), &ev.adjust_to(&b, lvl), ek);
+        powers[i] = Some(ev.rescale(&prod));
+    }
+    let giant = powers[m].clone().expect("x^m");
+
+    // Giant steps: Horner over chunks of m coefficients.
+    let n_chunks = deg / m + 1;
+    let chunk_poly = |j: usize, level: usize, base: &Ciphertext| -> Ciphertext {
+        // q_j(x) = Σ_{i=0}^{m-1} coeffs[j*m + i] x^i, evaluated from the
+        // precomputed baby powers at `level`.
+        let mut acc: Option<Ciphertext> = None;
+        for i in 1..m {
+            let Some(c) = coeffs.get(j * m + i) else { break };
+            if c.abs() < 1e-30 {
+                continue;
+            }
+            let p = powers[i].clone().expect("baby power");
+            let p = ev.adjust_to(&p, level);
+            let cpt = ctx.encode_at_scale(
+                &vec![*c; ctx.params().slots()],
+                level,
+                ctx.chain().scale_at(level).clone(),
+            );
+            let term = ev.rescale(&ev.mul_plain(&p, &cpt));
+            acc = Some(match acc {
+                None => term,
+                Some(a) => ev.add(&a, &term),
+            });
+        }
+        let c0 = coeffs.get(j * m).copied().unwrap_or(0.0);
+        match acc {
+            Some(a) => {
+                let cpt = ctx.encode_at_scale(
+                    &vec![c0; ctx.params().slots()],
+                    a.level(),
+                    a.scale().clone(),
+                );
+                ev.add_plain(&a, &cpt)
+            }
+            None => {
+                // Constant chunk: encode at the base's level/scale, then
+                // add to a zeroed ciphertext derived from `base`.
+                let zero = ev.sub(base, base);
+                let z = ev.adjust_to(&zero, level.saturating_sub(1));
+                let cpt = ctx.encode_at_scale(
+                    &vec![c0; ctx.params().slots()],
+                    z.level(),
+                    z.scale().clone(),
+                );
+                ev.add_plain(&z, &cpt)
+            }
+        }
+    };
+
+    // Horner over giant steps: acc = q_{last}; acc = acc * x^m + q_j.
+    let work_level = giant.level();
+    let mut acc = chunk_poly(n_chunks - 1, work_level, x);
+    for j in (0..n_chunks - 1).rev() {
+        let g = ev.adjust_to(&giant, acc.level());
+        acc = ev.rescale(&ev.mul(&acc, &g, ek));
+        let q = chunk_poly(j, acc.level() + 1, x);
+        let q = ev.adjust_to(&q, acc.level());
+        acc = ev.add(&acc, &q);
+    }
+    acc
+}
+
+/// Chebyshev interpolation: coefficients of the degree-`deg` polynomial
+/// approximating `f` on `[-1, 1]`, returned **in the power basis** so they
+/// can be fed to [`eval_bsgs`].
+pub fn chebyshev_coeffs(f: impl Fn(f64) -> f64, deg: usize) -> Vec<f64> {
+    let n = deg + 1;
+    // Chebyshev-basis coefficients via the DCT at Chebyshev nodes.
+    let mut c = vec![0.0; n];
+    let nodes: Vec<f64> = (0..n)
+        .map(|k| (std::f64::consts::PI * (k as f64 + 0.5) / n as f64).cos())
+        .collect();
+    let fvals: Vec<f64> = nodes.iter().map(|&x| f(x)).collect();
+    for (j, cj) in c.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for (k, &fv) in fvals.iter().enumerate() {
+            s += fv * (std::f64::consts::PI * j as f64 * (k as f64 + 0.5) / n as f64).cos();
+        }
+        *cj = 2.0 * s / n as f64;
+    }
+    c[0] /= 2.0;
+
+    // Convert T_j basis to power basis: T_0 = 1, T_1 = x,
+    // T_{j+1} = 2x T_j − T_{j−1}.
+    let mut t_prev = vec![1.0]; // T_0
+    let mut t_cur = vec![0.0, 1.0]; // T_1
+    let mut out = vec![0.0; n];
+    out[0] += c[0];
+    if n > 1 {
+        out[1] += c[1];
+    }
+    for j in 2..n {
+        let mut t_next = vec![0.0; j + 1];
+        for (i, &v) in t_cur.iter().enumerate() {
+            t_next[i + 1] += 2.0 * v;
+        }
+        for (i, &v) in t_prev.iter().enumerate() {
+            t_next[i] -= v;
+        }
+        for (i, &v) in t_next.iter().enumerate() {
+            out[i] += c[j] * v;
+        }
+        t_prev = t_cur;
+        t_cur = t_next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CkksContext, CkksParams, Representation, SecurityLevel};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn ctx(levels: usize) -> CkksContext {
+        let params = CkksParams::builder()
+            .log_n(8)
+            .word_bits(28)
+            .representation(Representation::BitPacker)
+            .security(SecurityLevel::Insecure)
+            .levels(levels, 30)
+            .base_modulus_bits(40)
+            .build()
+            .unwrap();
+        CkksContext::new(&params).unwrap()
+    }
+
+    #[test]
+    fn chebyshev_reproduces_polynomial_exactly() {
+        // Interpolating a cubic with degree 3 must recover it.
+        let coeffs = chebyshev_coeffs(|x| 1.0 + 2.0 * x - 0.5 * x * x * x, 3);
+        assert!((coeffs[0] - 1.0).abs() < 1e-9);
+        assert!((coeffs[1] - 2.0).abs() < 1e-9);
+        assert!(coeffs[2].abs() < 1e-9);
+        assert!((coeffs[3] + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chebyshev_approximates_smooth_function() {
+        let coeffs = chebyshev_coeffs(f64::sin, 9);
+        for k in 0..20 {
+            let x = -1.0 + 0.1 * k as f64;
+            let approx: f64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c * x.powi(i as i32))
+                .sum();
+            assert!((approx - x.sin()).abs() < 1e-6, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn horner_evaluates_cubic_homomorphically() {
+        let ctx = ctx(4);
+        let mut rng = ChaCha20Rng::seed_from_u64(31);
+        let keys = ctx.keygen(&mut rng);
+        let xs = [0.3f64, -0.5, 0.8, -0.1];
+        let ct = ctx.encrypt(&ctx.encode(&xs, ctx.max_level()), &keys.public, &mut rng);
+        let coeffs = [0.25, -1.0, 0.5, 2.0]; // 0.25 - x + 0.5x^2 + 2x^3
+        let out = eval_power_basis(&ctx, &keys.evaluation, &ct, &coeffs);
+        let got = ctx.decrypt_to_values(&out, &keys.secret, 4);
+        for (g, &x) in got.iter().zip(&xs) {
+            let want = 0.25 - x + 0.5 * x * x + 2.0 * x * x * x;
+            assert!((g - want).abs() < 5e-3, "x={x}: {g} vs {want}");
+        }
+    }
+
+    #[test]
+    fn bsgs_matches_horner_on_degree_7() {
+        let ctx = ctx(7);
+        let mut rng = ChaCha20Rng::seed_from_u64(32);
+        let keys = ctx.keygen(&mut rng);
+        let xs = [0.4f64, -0.6, 0.9];
+        let ct = ctx.encrypt(&ctx.encode(&xs, ctx.max_level()), &keys.public, &mut rng);
+        let coeffs: Vec<f64> = vec![0.1, -0.3, 0.05, 0.2, -0.15, 0.08, 0.02, -0.01];
+        let out = eval_bsgs(&ctx, &keys.evaluation, &ct, &coeffs);
+        let got = ctx.decrypt_to_values(&out, &keys.secret, 3);
+        for (g, &x) in got.iter().zip(&xs) {
+            let want: f64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c * x.powi(i as i32))
+                .sum();
+            assert!((g - want).abs() < 1e-2, "x={x}: {g} vs {want}");
+        }
+        // BSGS must use fewer levels than Horner would (7 for degree 7).
+        let used = ctx.max_level() - out.level();
+        assert!(used <= 5, "BSGS used {used} levels for degree 7");
+    }
+
+    #[test]
+    fn encrypted_sigmoid_via_chebyshev() {
+        // The LogReg activation: sigmoid approximated on [-1, 1].
+        let ctx = ctx(5);
+        let mut rng = ChaCha20Rng::seed_from_u64(33);
+        let keys = ctx.keygen(&mut rng);
+        let sigmoid = |x: f64| 1.0 / (1.0 + (-4.0 * x).exp());
+        let coeffs = chebyshev_coeffs(sigmoid, 5);
+        let xs = [0.0f64, 0.5, -0.5, 0.9];
+        let ct = ctx.encrypt(&ctx.encode(&xs, ctx.max_level()), &keys.public, &mut rng);
+        let out = eval_bsgs(&ctx, &keys.evaluation, &ct, &coeffs);
+        let got = ctx.decrypt_to_values(&out, &keys.secret, 4);
+        for (g, &x) in got.iter().zip(&xs) {
+            assert!(
+                (g - sigmoid(x)).abs() < 0.05,
+                "sigmoid({x}): {g} vs {}",
+                sigmoid(x)
+            );
+        }
+    }
+}

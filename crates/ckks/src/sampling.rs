@@ -1,0 +1,122 @@
+//! Randomness for RLWE: uniform, ternary, and discrete-Gaussian polynomials.
+//!
+//! CKKS encrypts with a small Gaussian error (σ = 3.2, the standard choice)
+//! and ternary secrets; these distributions are part of the R-LWE security
+//! argument (paper Sec. 3.4) and are *independent of the representation* —
+//! BitPacker and RNS-CKKS sample identically.
+
+use bp_rns::{Domain, PrimePool, RnsPoly};
+use rand::Rng;
+
+/// Standard deviation of the encryption noise.
+pub const NOISE_SIGMA: f64 = 3.2;
+
+/// Samples a polynomial with independently uniform residues (equivalently,
+/// a uniform element of `Z_Q[X]/(X^N+1)` by CRT), in NTT domain.
+pub fn uniform_poly<R: Rng + ?Sized>(pool: &PrimePool, moduli: &[u64], rng: &mut R) -> RnsPoly {
+    let mut p = RnsPoly::zero(pool, moduli, Domain::Ntt);
+    for r in p.residues_mut().iter_mut() {
+        let q = r.modulus();
+        for c in r.coeffs_mut() {
+            *c = rng.gen_range(0..q);
+        }
+    }
+    p
+}
+
+/// Samples a uniform ternary polynomial (coefficients in `{-1, 0, 1}` with
+/// probabilities 1/4, 1/2, 1/4), in coefficient domain.
+pub fn ternary_poly<R: Rng + ?Sized>(pool: &PrimePool, moduli: &[u64], rng: &mut R) -> RnsPoly {
+    let n = pool.n();
+    let coeffs: Vec<i64> = (0..n)
+        .map(|_| match rng.gen_range(0..4u8) {
+            0 => -1,
+            1 => 1,
+            _ => 0,
+        })
+        .collect();
+    RnsPoly::from_i64_coeffs(pool, moduli, &coeffs)
+}
+
+/// Samples a discrete-Gaussian polynomial (σ = [`NOISE_SIGMA`], truncated at
+/// 6σ), in coefficient domain.
+pub fn gaussian_poly<R: Rng + ?Sized>(pool: &PrimePool, moduli: &[u64], rng: &mut R) -> RnsPoly {
+    let n = pool.n();
+    let coeffs: Vec<i64> = (0..n).map(|_| sample_gaussian_i64(rng)).collect();
+    RnsPoly::from_i64_coeffs(pool, moduli, &coeffs)
+}
+
+/// One rounded-Gaussian sample (Box–Muller, truncated at ±6σ).
+pub fn sample_gaussian_i64<R: Rng + ?Sized>(rng: &mut R) -> i64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (g * NOISE_SIGMA).round();
+        if v.abs() <= 6.0 * NOISE_SIGMA {
+            return v as i64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    #[test]
+    fn ternary_values_in_range() {
+        let pool = PrimePool::new(1 << 8);
+        let qs = pool.first_primes_below(30, 2);
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let p = ternary_poly(&pool, &qs, &mut rng);
+        for r in p.residues() {
+            let q = r.modulus();
+            for &c in r.coeffs() {
+                assert!(c == 0 || c == 1 || c == q - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_look_right() {
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let n = 200_000;
+        let samples: Vec<i64> = (0..n).map(|_| sample_gaussian_i64(&mut rng)).collect();
+        let mean = samples.iter().sum::<i64>() as f64 / n as f64;
+        let var = samples.iter().map(|&x| x as f64 * x as f64).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - NOISE_SIGMA).abs() < 0.1, "sigma {}", var.sqrt());
+        assert!(samples.iter().all(|&x| x.abs() <= 20));
+    }
+
+    #[test]
+    fn uniform_residues_span_range() {
+        let pool = PrimePool::new(1 << 8);
+        let qs = pool.first_primes_below(30, 1);
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let p = uniform_poly(&pool, &qs, &mut rng);
+        let q = p.residue(0).modulus();
+        let max = *p.residue(0).coeffs().iter().max().unwrap();
+        let min = *p.residue(0).coeffs().iter().min().unwrap();
+        assert!(max > q / 2 && min < q / 4, "not spread: [{min}, {max}] of {q}");
+    }
+
+    #[test]
+    fn ternary_residues_are_consistent() {
+        // The same signed coefficient must be encoded under every modulus.
+        let pool = PrimePool::new(1 << 6);
+        let qs = pool.first_primes_below(30, 3);
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let p = ternary_poly(&pool, &qs, &mut rng);
+        for i in 0..pool.n() {
+            let signed: Vec<i64> = p
+                .residues()
+                .iter()
+                .map(|r| bp_math::centered(r.coeffs()[i], r.modulus()))
+                .collect();
+            assert!(signed.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Wire format: serialize ciphertexts for transport.
+//!
+//! FHE's deployment model ships ciphertexts between a client and an
+//! untrusted server (paper Sec. 1), so a stable byte encoding is part of
+//! the library surface. The format is self-describing and versioned:
+//!
+//! ```text
+//! magic "BPCT" | version u8 | domain u8 | level u32 | n u32
+//! | scale: pow2 i64, n_factors u32, (prime u64, exp i64)*
+//! | n_residues u32 | (modulus u64, coeffs u64*n)*   — for c0, then c1
+//! ```
+//!
+//! All integers little-endian. Deserialization validates the header and
+//! re-binds residues to the context's NTT tables, rejecting moduli that
+//! don't belong to the chain.
+
+use crate::ciphertext::Ciphertext;
+use crate::context::CkksContext;
+use bp_math::FactoredScale;
+use bp_rns::{Domain, RnsPoly};
+
+const MAGIC: &[u8; 4] = b"BPCT";
+const VERSION: u8 = 1;
+
+/// Errors from [`read_ciphertext`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Bad magic, version, or structural field.
+    Malformed(String),
+    /// The payload references a modulus or level the context doesn't have.
+    Incompatible(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Malformed(m) => write!(f, "malformed ciphertext bytes: {m}"),
+            WireError::Incompatible(m) => write!(f, "incompatible ciphertext: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializes a ciphertext to bytes.
+pub fn write_ciphertext(ct: &Ciphertext) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(match ct.c0().domain() {
+        Domain::Coeff => 0,
+        Domain::Ntt => 1,
+    });
+    out.extend_from_slice(&(ct.level() as u32).to_le_bytes());
+    out.extend_from_slice(&(ct.c0().n() as u32).to_le_bytes());
+    write_scale(&mut out, ct.scale());
+    for poly in [ct.c0(), ct.c1()] {
+        out.extend_from_slice(&(poly.num_residues() as u32).to_le_bytes());
+        for r in poly.residues() {
+            out.extend_from_slice(&r.modulus().to_le_bytes());
+            for &c in r.coeffs() {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+fn write_scale(out: &mut Vec<u8>, scale: &FactoredScale) {
+    let (pow2, factors) = scale.parts();
+    out.extend_from_slice(&pow2.to_le_bytes());
+    out.extend_from_slice(&(factors.len() as u32).to_le_bytes());
+    for (p, e) in factors {
+        out.extend_from_slice(&p.to_le_bytes());
+        out.extend_from_slice(&e.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Malformed("truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+/// Deserializes a ciphertext, validating it against the context.
+///
+/// # Errors
+/// [`WireError::Malformed`] for structural problems;
+/// [`WireError::Incompatible`] when the level, ring degree, or moduli do
+/// not match the context's chain.
+pub fn read_ciphertext(ctx: &CkksContext, bytes: &[u8]) -> Result<Ciphertext, WireError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(WireError::Malformed("bad magic".into()));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(WireError::Malformed(format!("unknown version {version}")));
+    }
+    let domain = match r.u8()? {
+        0 => Domain::Coeff,
+        1 => Domain::Ntt,
+        d => return Err(WireError::Malformed(format!("bad domain tag {d}"))),
+    };
+    let level = r.u32()? as usize;
+    if level > ctx.max_level() {
+        return Err(WireError::Incompatible(format!(
+            "level {level} exceeds chain max {}",
+            ctx.max_level()
+        )));
+    }
+    let n = r.u32()? as usize;
+    if n != ctx.params().n() {
+        return Err(WireError::Incompatible(format!(
+            "ring degree {n} vs context {}",
+            ctx.params().n()
+        )));
+    }
+
+    // Scale.
+    let pow2 = r.i64()?;
+    let n_factors = r.u32()? as usize;
+    if n_factors > 4096 {
+        return Err(WireError::Malformed("factor count implausible".into()));
+    }
+    let mut scale = FactoredScale::from_pow2(pow2);
+    for _ in 0..n_factors {
+        let p = r.u64()?;
+        let e = r.i64()?;
+        if p == 0 || p % 2 == 0 {
+            return Err(WireError::Malformed(format!("bad scale factor {p}")));
+        }
+        for _ in 0..e.unsigned_abs() {
+            scale = if e > 0 {
+                scale.mul_prime(p)
+            } else {
+                scale.div_prime(p)
+            };
+        }
+    }
+
+    let expected_moduli = ctx.chain().moduli_at(level);
+    let mut polys = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let n_res = r.u32()? as usize;
+        if n_res != expected_moduli.len() {
+            return Err(WireError::Incompatible(format!(
+                "residue count {n_res} vs chain {}",
+                expected_moduli.len()
+            )));
+        }
+        let mut poly = RnsPoly::zero(ctx.pool(), expected_moduli, domain);
+        for (i, rp) in poly.residues_mut().iter_mut().enumerate() {
+            let q = r.u64()?;
+            if q != expected_moduli[i] {
+                return Err(WireError::Incompatible(format!(
+                    "modulus {q} at position {i}, chain has {}",
+                    expected_moduli[i]
+                )));
+            }
+            for c in rp.coeffs_mut() {
+                let v = r.u64()?;
+                if v >= q {
+                    return Err(WireError::Malformed(format!(
+                        "coefficient {v} not reduced mod {q}"
+                    )));
+                }
+                *c = v;
+            }
+        }
+        polys.push(poly);
+    }
+    if r.pos != bytes.len() {
+        return Err(WireError::Malformed("trailing bytes".into()));
+    }
+    let c1 = polys.pop().expect("two polys");
+    let c0 = polys.pop().expect("two polys");
+    Ok(Ciphertext::new(c0, c1, level, scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CkksParams, Representation, SecurityLevel};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn ctx() -> CkksContext {
+        let params = CkksParams::builder()
+            .log_n(7)
+            .word_bits(28)
+            .representation(Representation::BitPacker)
+            .security(SecurityLevel::Insecure)
+            .levels(3, 26)
+            .base_modulus_bits(30)
+            .build()
+            .unwrap();
+        CkksContext::new(&params).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ctx = ctx();
+        let mut rng = ChaCha20Rng::seed_from_u64(66);
+        let keys = ctx.keygen(&mut rng);
+        let x = vec![0.5, -0.125, 0.75];
+        let ct = ctx.encrypt(&ctx.encode(&x, ctx.max_level()), &keys.public, &mut rng);
+        let bytes = write_ciphertext(&ct);
+        let back = read_ciphertext(&ctx, &bytes).expect("roundtrip");
+        assert_eq!(back.level(), ct.level());
+        assert_eq!(back.scale(), ct.scale());
+        assert_eq!(back.moduli(), ct.moduli());
+        // Decrypts to the same values.
+        let got = ctx.decrypt_to_values(&back, &keys.secret, 3);
+        for (g, v) in got.iter().zip(&x) {
+            assert!((g - v).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn roundtrip_after_computation() {
+        let ctx = ctx();
+        let mut rng = ChaCha20Rng::seed_from_u64(67);
+        let keys = ctx.keygen(&mut rng);
+        let ev = ctx.evaluator();
+        let ct = ctx.encrypt(&ctx.encode(&[0.5], ctx.max_level()), &keys.public, &mut rng);
+        let sq = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+        let back = read_ciphertext(&ctx, &write_ciphertext(&sq)).expect("roundtrip");
+        let got = ctx.decrypt_to_values(&back, &keys.secret, 1);
+        assert!((got[0] - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let ctx = ctx();
+        let mut rng = ChaCha20Rng::seed_from_u64(68);
+        let keys = ctx.keygen(&mut rng);
+        let ct = ctx.encrypt(&ctx.encode(&[0.1], ctx.max_level()), &keys.public, &mut rng);
+        let bytes = write_ciphertext(&ct);
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_ciphertext(&ctx, &bad),
+            Err(WireError::Malformed(_))
+        ));
+
+        // Truncation.
+        assert!(read_ciphertext(&ctx, &bytes[..bytes.len() - 3]).is_err());
+
+        // Unreduced coefficient: set the first coefficient word to u64::MAX.
+        let mut bad = bytes.clone();
+        let header = 4 + 1 + 1 + 4 + 4;
+        // Skip scale (pow2 i64 + count u32 + factors) to find it robustly:
+        // just flip a byte deep in the payload instead.
+        let pos = bad.len() - 9;
+        bad[pos..pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let _ = header;
+        assert!(read_ciphertext(&ctx, &bad).is_err());
+
+        // Wrong context (different level count).
+        let params2 = CkksParams::builder()
+            .log_n(7)
+            .word_bits(28)
+            .representation(Representation::RnsCkks)
+            .security(SecurityLevel::Insecure)
+            .levels(3, 26)
+            .base_modulus_bits(30)
+            .build()
+            .unwrap();
+        let ctx2 = CkksContext::new(&params2).unwrap();
+        assert!(matches!(
+            read_ciphertext(&ctx2, &bytes),
+            Err(WireError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let ctx = ctx();
+        let mut rng = ChaCha20Rng::seed_from_u64(69);
+        let keys = ctx.keygen(&mut rng);
+        let ct = ctx.encrypt(&ctx.encode(&[0.1], ctx.max_level()), &keys.public, &mut rng);
+        let mut bytes = write_ciphertext(&ct);
+        bytes.push(0);
+        assert!(matches!(
+            read_ciphertext(&ctx, &bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

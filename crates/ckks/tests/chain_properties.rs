@@ -1,0 +1,123 @@
+//! Property-based tests on modulus-chain construction: for arbitrary
+//! scale schedules and word sizes, both representations must uphold the
+//! paper's invariants.
+
+use bp_ckks::{CkksParams, ModulusChain, Representation, SecurityLevel};
+use proptest::prelude::*;
+
+fn arb_schedule() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(24u32..55, 2..8)
+}
+
+/// Schedules where every downward transition is feasible for *nested*
+/// chains: `T_{l−1} ≤ 2·T_l − min_prime_bits` (a rescale can shed at most
+/// `S_L²/q_min`). BitPacker escapes this constraint by swapping terminal
+/// moduli; RNS-CKKS cannot.
+fn arb_nested_schedule() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(32u32..48, 2..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bitpacker_chains_pack_and_track_scales(
+        schedule in arb_schedule(),
+        word_bits in prop::sample::select(vec![26u32, 28, 32, 40, 52, 61]),
+    ) {
+        let params = CkksParams::builder()
+            .log_n(11)
+            .word_bits(word_bits)
+            .representation(Representation::BitPacker)
+            .security(SecurityLevel::Insecure)
+            .scale_schedule(schedule.clone())
+            .base_modulus_bits(55)
+            .build()
+            .expect("valid params");
+        let chain = ModulusChain::new(&params).expect("chain builds");
+
+        for l in 0..=chain.max_level() {
+            // Every residue fits the word.
+            for &q in chain.moduli_at(l) {
+                prop_assert!((q as f64).log2() <= word_bits as f64);
+            }
+            // Packing is within one word of optimal.
+            let min_words = (chain.log_q_at(l) / word_bits as f64).ceil() as usize;
+            prop_assert!(chain.residue_count_at(l) <= min_words + 1);
+            // Distinct moduli within a level.
+            let mut m = chain.moduli_at(l).to_vec();
+            m.sort_unstable();
+            m.dedup();
+            prop_assert_eq!(m.len(), chain.residue_count_at(l));
+        }
+        // Scales land within ~1 bit of the targets for non-base levels
+        // (0.5-bit greedy tolerance plus bounded relaxation near the base).
+        for (l, &t) in schedule.iter().enumerate().skip(1) {
+            let drift = (chain.scale_at(l).log2() - t as f64).abs();
+            prop_assert!(drift < 1.5, "level {l}: scale off target by {drift:.2} bits");
+        }
+    }
+
+    #[test]
+    fn rns_chains_are_nested_and_never_below_target(
+        schedule in arb_nested_schedule(),
+        word_bits in prop::sample::select(vec![28u32, 36, 50, 61]),
+    ) {
+        let params = CkksParams::builder()
+            .log_n(11)
+            .word_bits(word_bits)
+            .representation(Representation::RnsCkks)
+            .security(SecurityLevel::Insecure)
+            .scale_schedule(schedule.clone())
+            .base_modulus_bits(55)
+            .build()
+            .expect("valid params");
+        let chain = ModulusChain::new(&params).expect("chain builds");
+
+        for l in 1..=chain.max_level() {
+            // RNS-CKKS levels are nested: rescaling only sheds.
+            prop_assert!(chain.added_between(l).is_empty());
+            prop_assert!(!chain.shed_between(l).is_empty());
+            // The previous level's moduli are a prefix-subset.
+            let lower = chain.moduli_at(l - 1);
+            let upper = chain.moduli_at(l);
+            prop_assert_eq!(&upper[..lower.len()], lower);
+        }
+        // Scales never collapse below ~2 bits under the target (the
+        // "waste modulus, not precision" rule).
+        for (l, &t) in schedule.iter().enumerate().skip(1) {
+            let s = chain.scale_at(l).log2();
+            prop_assert!(
+                s > t as f64 - 2.0,
+                "level {l}: scale {s:.1} collapsed below target {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn keyswitch_basis_covers_every_level(
+        schedule in arb_schedule(),
+        repr in prop::sample::select(vec![Representation::BitPacker, Representation::RnsCkks]),
+    ) {
+        let params = CkksParams::builder()
+            .log_n(11)
+            .word_bits(30)
+            .representation(repr)
+            .security(SecurityLevel::Insecure)
+            .scale_schedule(schedule)
+            .base_modulus_bits(45)
+            .build()
+            .expect("valid params");
+        let chain = ModulusChain::new(&params).expect("chain builds");
+        let basis = chain.keyswitch_basis();
+        for l in 0..=chain.max_level() {
+            for q in chain.moduli_at(l) {
+                prop_assert!(basis.contains(q), "modulus {q} missing from KS basis");
+            }
+        }
+        // Specials are disjoint from the basis.
+        for sp in chain.special() {
+            prop_assert!(!basis.contains(sp));
+        }
+    }
+}

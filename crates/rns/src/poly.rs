@@ -1,0 +1,554 @@
+//! RNS polynomials: vectors of residue polynomials mod word-sized primes.
+
+use crate::{NttTable, PrimePool};
+use bp_math::BigUint;
+use std::sync::Arc;
+
+/// Representation domain of a polynomial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Coefficient (power-basis) representation.
+    Coeff,
+    /// Evaluation (NTT/slot) representation.
+    Ntt,
+}
+
+/// One residue polynomial: `N` coefficients modulo a single prime, plus a
+/// handle to that prime's NTT tables.
+#[derive(Debug, Clone)]
+pub struct ResiduePoly {
+    table: Arc<NttTable>,
+    coeffs: Vec<u64>,
+}
+
+impl ResiduePoly {
+    /// An all-zero residue polynomial for the given table.
+    pub fn zero(table: Arc<NttTable>) -> Self {
+        let n = table.n();
+        Self {
+            table,
+            coeffs: vec![0; n],
+        }
+    }
+
+    /// The prime modulus of this residue.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.table.modulus().value()
+    }
+
+    /// The coefficient (or slot) values.
+    #[inline]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Mutable access to the values.
+    #[inline]
+    pub fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+
+    /// The NTT table handle.
+    #[inline]
+    pub fn table(&self) -> &Arc<NttTable> {
+        &self.table
+    }
+}
+
+/// A polynomial in `Z_Q[X]/(X^N + 1)` stored as residues modulo each prime
+/// factor of `Q` (paper Sec. 2.3, Fig. 2).
+///
+/// Residue order is significant: two polynomials are *layout-compatible*
+/// (addable, multipliable) only if their modulus sequences are identical.
+#[derive(Debug, Clone)]
+pub struct RnsPoly {
+    n: usize,
+    domain: Domain,
+    residues: Vec<ResiduePoly>,
+}
+
+impl RnsPoly {
+    /// The zero polynomial over the given prime basis.
+    pub fn zero(pool: &PrimePool, moduli: &[u64], domain: Domain) -> Self {
+        let residues = moduli
+            .iter()
+            .map(|&q| ResiduePoly::zero(pool.table(q)))
+            .collect();
+        Self {
+            n: pool.n(),
+            domain,
+            residues,
+        }
+    }
+
+    /// Builds a polynomial from signed coefficients (coefficient domain).
+    /// Coefficients beyond `coeffs.len()` are zero.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() > N`.
+    pub fn from_i64_coeffs(pool: &PrimePool, moduli: &[u64], coeffs: &[i64]) -> Self {
+        Self::from_i128_coeffs(pool, moduli, &coeffs.iter().map(|&c| c as i128).collect::<Vec<_>>())
+    }
+
+    /// Builds a polynomial from wide signed coefficients (coefficient
+    /// domain). Used by the encoder, whose coefficients can approach
+    /// `scale · value ≈ 2^60`.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() > N`.
+    pub fn from_i128_coeffs(pool: &PrimePool, moduli: &[u64], coeffs: &[i128]) -> Self {
+        assert!(coeffs.len() <= pool.n(), "too many coefficients");
+        let mut p = Self::zero(pool, moduli, Domain::Coeff);
+        for r in &mut p.residues {
+            let q = r.modulus() as i128;
+            for (dst, &c) in r.coeffs.iter_mut().zip(coeffs) {
+                let v = c.rem_euclid(q);
+                *dst = v as u64;
+            }
+        }
+        p
+    }
+
+    /// The ring degree `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current representation domain.
+    #[inline]
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Number of residues `R`.
+    #[inline]
+    pub fn num_residues(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// The ordered prime basis.
+    pub fn moduli(&self) -> Vec<u64> {
+        self.residues.iter().map(|r| r.modulus()).collect()
+    }
+
+    /// Access residue `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= R`.
+    pub fn residue(&self, i: usize) -> &ResiduePoly {
+        &self.residues[i]
+    }
+
+    /// All residues.
+    pub fn residues(&self) -> &[ResiduePoly] {
+        &self.residues
+    }
+
+    /// Mutable access to all residues.
+    ///
+    /// Callers must preserve the invariant that every residue stays reduced
+    /// modulo its prime; this is intended for samplers and test fixtures
+    /// that fill coefficient values directly.
+    pub fn residues_mut(&mut self) -> &mut Vec<ResiduePoly> {
+        &mut self.residues
+    }
+
+    /// Converts to NTT domain (no-op if already there).
+    pub fn to_ntt(&mut self) {
+        if self.domain == Domain::Ntt {
+            return;
+        }
+        for r in &mut self.residues {
+            let table = Arc::clone(&r.table);
+            table.forward(&mut r.coeffs);
+        }
+        self.domain = Domain::Ntt;
+    }
+
+    /// Converts to coefficient domain (no-op if already there).
+    pub fn to_coeff(&mut self) {
+        if self.domain == Domain::Coeff {
+            return;
+        }
+        for r in &mut self.residues {
+            let table = Arc::clone(&r.table);
+            table.inverse(&mut r.coeffs);
+        }
+        self.domain = Domain::Coeff;
+    }
+
+    fn assert_compatible(&self, other: &Self) {
+        assert_eq!(self.n, other.n, "ring degree mismatch");
+        assert_eq!(self.domain, other.domain, "domain mismatch");
+        assert_eq!(
+            self.moduli(),
+            other.moduli(),
+            "residue basis mismatch (count {} vs {})",
+            self.num_residues(),
+            other.num_residues()
+        );
+    }
+
+    /// Elementwise sum. Works in either domain (both operands must match).
+    ///
+    /// # Panics
+    /// Panics if the operands are not layout-compatible.
+    #[must_use]
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// In-place elementwise sum.
+    pub fn add_assign(&mut self, other: &Self) {
+        self.assert_compatible(other);
+        for (a, b) in self.residues.iter_mut().zip(&other.residues) {
+            let m = *a.table.modulus();
+            for (x, &y) in a.coeffs.iter_mut().zip(&b.coeffs) {
+                *x = m.add(*x, y);
+            }
+        }
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    /// Panics if the operands are not layout-compatible.
+    #[must_use]
+    pub fn sub(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.sub_assign(other);
+        out
+    }
+
+    /// In-place elementwise difference.
+    pub fn sub_assign(&mut self, other: &Self) {
+        self.assert_compatible(other);
+        for (a, b) in self.residues.iter_mut().zip(&other.residues) {
+            let m = *a.table.modulus();
+            for (x, &y) in a.coeffs.iter_mut().zip(&b.coeffs) {
+                *x = m.sub(*x, y);
+            }
+        }
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(&self) -> Self {
+        let mut out = self.clone();
+        for r in &mut out.residues {
+            let m = *r.table.modulus();
+            for x in &mut r.coeffs {
+                *x = m.neg(*x);
+            }
+        }
+        out
+    }
+
+    /// Polynomial product; both operands must be in NTT domain.
+    ///
+    /// # Panics
+    /// Panics if either operand is in coefficient domain or layouts differ.
+    #[must_use]
+    pub fn mul(&self, other: &Self) -> Self {
+        assert_eq!(self.domain, Domain::Ntt, "mul requires NTT domain");
+        let mut out = self.clone();
+        out.mul_assign(other);
+        out
+    }
+
+    /// In-place polynomial product (NTT domain).
+    pub fn mul_assign(&mut self, other: &Self) {
+        assert_eq!(self.domain, Domain::Ntt, "mul requires NTT domain");
+        self.assert_compatible(other);
+        for (a, b) in self.residues.iter_mut().zip(&other.residues) {
+            let m = *a.table.modulus();
+            for (x, &y) in a.coeffs.iter_mut().zip(&b.coeffs) {
+                *x = m.mul(*x, y);
+            }
+        }
+    }
+
+    /// Multiplies residue `i` by the scalar `consts[i]` (already reduced mod
+    /// `qᵢ`). Valid in either domain (scalar multiplication commutes with
+    /// the NTT).
+    ///
+    /// # Panics
+    /// Panics if `consts.len() != R`.
+    pub fn mul_scalar_per_residue(&mut self, consts: &[u64]) {
+        assert_eq!(consts.len(), self.residues.len(), "constant count mismatch");
+        for (r, &c) in self.residues.iter_mut().zip(consts) {
+            let m = *r.table.modulus();
+            let c = m.reduce(c);
+            let cs = m.shoup(c);
+            for x in &mut r.coeffs {
+                *x = m.mul_shoup(*x, c, cs);
+            }
+        }
+    }
+
+    /// Multiplies every residue by a (wide) integer constant, reducing it per
+    /// modulus first. This is `mulConst` in the paper's listings.
+    pub fn mul_biguint(&mut self, k: &BigUint) {
+        let consts: Vec<u64> = self.moduli().iter().map(|&q| k.rem_u64(q)).collect();
+        self.mul_scalar_per_residue(&consts);
+    }
+
+    /// Multiplies every residue by the same small scalar.
+    pub fn mul_scalar_u64(&mut self, c: u64) {
+        let consts: Vec<u64> = self.moduli().iter().map(|&q| c % q).collect();
+        self.mul_scalar_per_residue(&consts);
+    }
+
+    /// Applies the Galois automorphism `X → X^t` (odd `t`), used to
+    /// implement slot rotations and conjugation.
+    ///
+    /// # Panics
+    /// Panics if the polynomial is not in coefficient domain or `t` is even.
+    #[must_use]
+    pub fn automorphism(&self, t: usize) -> Self {
+        assert_eq!(
+            self.domain,
+            Domain::Coeff,
+            "automorphism requires coefficient domain"
+        );
+        assert!(t % 2 == 1, "Galois element must be odd");
+        let n = self.n;
+        let two_n = 2 * n;
+        let mut out = self.clone();
+        for (src, dst) in self.residues.iter().zip(out.residues.iter_mut()) {
+            let m = *src.table.modulus();
+            let mut new = vec![0u64; n];
+            for (i, &c) in src.coeffs.iter().enumerate() {
+                let j = (i * t) % two_n;
+                if j < n {
+                    new[j] = c;
+                } else {
+                    new[j - n] = m.neg(c);
+                }
+            }
+            dst.coeffs = new;
+        }
+        out
+    }
+
+    /// Removes and returns the last `k` residues.
+    ///
+    /// # Panics
+    /// Panics if `k > R`.
+    pub fn pop_residues(&mut self, k: usize) -> Vec<ResiduePoly> {
+        assert!(k <= self.residues.len(), "cannot pop {k} residues");
+        self.residues.split_off(self.residues.len() - k)
+    }
+
+    /// Removes and returns the residues whose moduli appear in `moduli`
+    /// (preserving the order of the remaining residues). This implements the
+    /// `moveResiduesToEnd` + shed step of `scaleDown` (paper Listing 5).
+    ///
+    /// # Panics
+    /// Panics if any requested modulus is absent.
+    pub fn extract_residues(&mut self, moduli: &[u64]) -> Vec<ResiduePoly> {
+        let mut out = Vec::with_capacity(moduli.len());
+        for &q in moduli {
+            let idx = self
+                .residues
+                .iter()
+                .position(|r| r.modulus() == q)
+                .unwrap_or_else(|| panic!("modulus {q} not present in polynomial"));
+            out.push(self.residues.remove(idx));
+        }
+        out
+    }
+
+    /// Appends all-zero residues for the given tables (the cheap half of
+    /// `scaleUp`, paper Listing 3: after multiplying by `K = ∏ new qᵢ`, the
+    /// new residues are exactly zero).
+    pub fn append_zero_residues(&mut self, tables: &[Arc<NttTable>]) {
+        for t in tables {
+            assert_eq!(t.n(), self.n, "ring degree mismatch");
+            self.residues.push(ResiduePoly::zero(Arc::clone(t)));
+        }
+    }
+
+
+    /// Assembles a polynomial from residue polynomials.
+    ///
+    /// # Panics
+    /// Panics if `residues` is empty or ring degrees disagree.
+    pub fn from_residues(domain: Domain, residues: Vec<ResiduePoly>) -> Self {
+        assert!(!residues.is_empty(), "need at least one residue");
+        let n = residues[0].table.n();
+        for r in &residues {
+            assert_eq!(r.table.n(), n, "ring degree mismatch");
+        }
+        Self {
+            n,
+            domain,
+            residues,
+        }
+    }
+
+    /// Returns a copy containing only the residues for `moduli`, in that
+    /// order. Used to restrict full-basis keys to a level's basis and to
+    /// slice out keyswitching digits.
+    ///
+    /// # Panics
+    /// Panics if a requested modulus is absent.
+    #[must_use]
+    pub fn restricted(&self, moduli: &[u64]) -> Self {
+        let residues = moduli
+            .iter()
+            .map(|&q| {
+                self.residues
+                    .iter()
+                    .find(|r| r.modulus() == q)
+                    .unwrap_or_else(|| panic!("modulus {q} not present"))
+                    .clone()
+            })
+            .collect();
+        Self {
+            n: self.n,
+            domain: self.domain,
+            residues,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<PrimePool>, Vec<u64>) {
+        let pool = Arc::new(PrimePool::new(1 << 5));
+        let qs = pool.first_primes_below(30, 3);
+        (pool, qs)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let (pool, qs) = setup();
+        let a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, -2, 3, -4]);
+        let b = RnsPoly::from_i64_coeffs(&pool, &qs, &[10, 20, -30]);
+        let c = a.add(&b).sub(&b);
+        for i in 0..a.num_residues() {
+            assert_eq!(a.residue(i).coeffs(), c.residue(i).coeffs());
+        }
+    }
+
+    #[test]
+    fn negative_coeffs_reduce_correctly() {
+        let (pool, qs) = setup();
+        let a = RnsPoly::from_i64_coeffs(&pool, &qs, &[-1]);
+        for r in a.residues() {
+            assert_eq!(r.coeffs()[0], r.modulus() - 1);
+        }
+    }
+
+    #[test]
+    fn ntt_mul_matches_small_product() {
+        let (pool, qs) = setup();
+        // (1 + X) * (1 - X) = 1 - X^2
+        let mut a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, 1]);
+        let mut b = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, -1]);
+        a.to_ntt();
+        b.to_ntt();
+        let mut c = a.mul(&b);
+        c.to_coeff();
+        let r = c.residue(0);
+        let q = r.modulus();
+        assert_eq!(r.coeffs()[0], 1);
+        assert_eq!(r.coeffs()[1], 0);
+        assert_eq!(r.coeffs()[2], q - 1);
+    }
+
+    #[test]
+    fn scalar_mul_commutes_with_ntt() {
+        let (pool, qs) = setup();
+        let base = RnsPoly::from_i64_coeffs(&pool, &qs, &[3, 1, 4, 1, 5]);
+        let mut a = base.clone();
+        a.mul_scalar_u64(7);
+        a.to_ntt();
+        let mut b = base.clone();
+        b.to_ntt();
+        b.mul_scalar_u64(7);
+        for i in 0..a.num_residues() {
+            assert_eq!(a.residue(i).coeffs(), b.residue(i).coeffs());
+        }
+    }
+
+    #[test]
+    fn automorphism_identity_and_inverse() {
+        let (pool, qs) = setup();
+        let a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, 2, 3, 4, 5, 6, 7]);
+        // t = 1 is the identity.
+        let id = a.automorphism(1);
+        assert_eq!(id.residue(0).coeffs(), a.residue(0).coeffs());
+        // Applying t then its inverse mod 2N is the identity.
+        let n = a.n();
+        let two_n = 2 * n;
+        let t = 5usize;
+        // Find inverse of t mod 2N.
+        let tinv = (1..two_n).step_by(2).find(|&x| (x * t) % two_n == 1).unwrap();
+        let back = a.automorphism(t).automorphism(tinv);
+        for i in 0..a.num_residues() {
+            assert_eq!(back.residue(i).coeffs(), a.residue(i).coeffs());
+        }
+    }
+
+    #[test]
+    fn automorphism_is_ring_homomorphism() {
+        // phi(a*b) == phi(a)*phi(b)
+        let (pool, qs) = setup();
+        let a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, 2, 0, 1]);
+        let b = RnsPoly::from_i64_coeffs(&pool, &qs, &[3, 0, 0, 0, 1]);
+        let t = 7usize;
+
+        let (mut an, mut bn) = (a.clone(), b.clone());
+        an.to_ntt();
+        bn.to_ntt();
+        let mut ab = an.mul(&bn);
+        ab.to_coeff();
+        let lhs = ab.automorphism(t);
+
+        let (mut at, mut bt) = (a.automorphism(t), b.automorphism(t));
+        at.to_ntt();
+        bt.to_ntt();
+        let mut rhs = at.mul(&bt);
+        rhs.to_coeff();
+
+        for i in 0..lhs.num_residues() {
+            assert_eq!(lhs.residue(i).coeffs(), rhs.residue(i).coeffs());
+        }
+    }
+
+    #[test]
+    fn extract_residues_by_value() {
+        let (pool, qs) = setup();
+        let mut a = RnsPoly::from_i64_coeffs(&pool, &qs, &[42]);
+        let taken = a.extract_residues(&[qs[1]]);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].modulus(), qs[1]);
+        assert_eq!(a.moduli(), vec![qs[0], qs[2]]);
+    }
+
+    #[test]
+    fn append_zero_residues_extends_basis() {
+        let (pool, qs) = setup();
+        let mut a = RnsPoly::from_i64_coeffs(&pool, &qs[..2], &[1]);
+        a.append_zero_residues(&[pool.table(qs[2])]);
+        assert_eq!(a.num_residues(), 3);
+        assert!(a.residue(2).coeffs().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "basis mismatch")]
+    fn incompatible_add_panics() {
+        let (pool, qs) = setup();
+        let a = RnsPoly::from_i64_coeffs(&pool, &qs[..2], &[1]);
+        let b = RnsPoly::from_i64_coeffs(&pool, &qs[..3], &[1]);
+        let _ = a.add(&b);
+    }
+}

@@ -1,0 +1,105 @@
+//! Shared, lazily-built cache of per-prime NTT tables.
+//!
+//! BitPacker ciphertexts introduce *new* residue moduli as they move down
+//! levels (paper Fig. 5), so the set of primes in play is not fixed up
+//! front. [`PrimePool`] hands out `Arc<NttTable>`s on demand and memoizes
+//! them, so every polynomial touching prime `q` shares one table.
+
+use crate::NttTable;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A cache of [`NttTable`]s for one ring degree `N`.
+///
+/// Cloning handles is cheap (`Arc`); the pool itself is usually wrapped in
+/// an `Arc` and shared by every object in a CKKS context.
+#[derive(Debug)]
+pub struct PrimePool {
+    n: usize,
+    tables: RwLock<HashMap<u64, Arc<NttTable>>>,
+}
+
+impl PrimePool {
+    /// Creates an empty pool for ring degree `n` (a power of two).
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "ring degree must be a power of two");
+        Self {
+            n,
+            tables: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The ring degree `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Returns the NTT table for prime `q`, building it on first use.
+    ///
+    /// # Panics
+    /// Panics if `q` is not an NTT-friendly prime for this pool's `N`.
+    pub fn table(&self, q: u64) -> Arc<NttTable> {
+        if let Some(t) = self.tables.read().expect("pool lock").get(&q) {
+            return Arc::clone(t);
+        }
+        let built = Arc::new(NttTable::new(q, self.n));
+        let mut w = self.tables.write().expect("pool lock");
+        Arc::clone(w.entry(q).or_insert(built))
+    }
+
+    /// Convenience: the largest `count` NTT-friendly primes below `2^bits`
+    /// for this pool's ring degree.
+    ///
+    /// # Panics
+    /// Panics if fewer than `count` such primes exist.
+    pub fn first_primes_below(&self, bits: u32, count: usize) -> Vec<u64> {
+        let ps: Vec<u64> = bp_math::primes::ntt_primes_below(bits, 2 * self.n as u64)
+            .take(count)
+            .collect();
+        assert_eq!(
+            ps.len(),
+            count,
+            "only {} NTT-friendly primes below 2^{bits} for N = {}",
+            ps.len(),
+            self.n
+        );
+        ps
+    }
+
+    /// Number of tables currently cached.
+    pub fn cached(&self) -> usize {
+        self.tables.read().expect("pool lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_memoized() {
+        let pool = PrimePool::new(1 << 5);
+        let qs = pool.first_primes_below(30, 2);
+        let t1 = pool.table(qs[0]);
+        let t2 = pool.table(qs[0]);
+        assert!(Arc::ptr_eq(&t1, &t2));
+        let _ = pool.table(qs[1]);
+        assert_eq!(pool.cached(), 2);
+    }
+
+    #[test]
+    fn first_primes_are_distinct_and_friendly() {
+        let pool = PrimePool::new(1 << 6);
+        let qs = pool.first_primes_below(32, 5);
+        for w in qs.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        for q in qs {
+            assert_eq!(q % (2 * (1 << 6)), 1);
+        }
+    }
+}

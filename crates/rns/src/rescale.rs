@@ -1,0 +1,274 @@
+//! Level-management kernels shared by RNS-CKKS and BitPacker.
+//!
+//! * [`rns_rescale_once`] — the classic RNS-CKKS rescale that sheds the last
+//!   residue (paper Listing 1).
+//! * [`scale_up`] — multiply by `K = ∏ new qᵢ` and append zero residues
+//!   (paper Listing 3; the new residues of `K·x` are exactly zero because
+//!   each new modulus divides `K`).
+//! * [`scale_down`] — divide by the product of an arbitrary subset of
+//!   moduli and shed them in a single CRB-style pass (paper Listing 5).
+//!
+//! All three operate on a single [`RnsPoly`]; ciphertext-level wrappers live
+//! in `bp-ckks`.
+
+use crate::basis::BasisConverter;
+use crate::{Domain, NttTable, RnsPoly};
+use bp_math::BigUint;
+use std::sync::Arc;
+
+/// RNS-CKKS rescale by the last residue modulus (paper Listing 1):
+/// `xᵢ ← (xᵢ − x_{R−1}) · q_{R−1}⁻¹ mod qᵢ`, then drop residue `R−1`.
+///
+/// The result equals `⌊x / q_{R−1}⌋` up to the standard sub-unit rounding
+/// term. Valid in either domain (the correction residue is brought to
+/// coefficient form internally).
+///
+/// # Panics
+/// Panics if the polynomial has fewer than 2 residues.
+pub fn rns_rescale_once(poly: &mut RnsPoly) {
+    assert!(poly.num_residues() >= 2, "cannot rescale below one residue");
+    let domain = poly.domain();
+    let last = poly.pop_residues(1).pop().expect("one residue");
+    let q_last = last.modulus();
+
+    // Bring the shed residue to coefficient form for cross-modulus reduction.
+    let mut last_coeff = last.clone();
+    if domain == Domain::Ntt {
+        let t = Arc::clone(last_coeff.table());
+        t.inverse(last_coeff.coeffs_mut());
+    }
+
+    for r in poly.residues_mut().iter_mut() {
+        let m = *r.table().modulus();
+        let table = Arc::clone(r.table());
+        let inv_q = m.inv(q_last % m.value()).expect("moduli coprime");
+        let inv_q_s = m.shoup(inv_q);
+
+        // Reduce the shed residue into this modulus (coefficient domain),
+        // then match the main domain.
+        let mut corr: Vec<u64> = last_coeff.coeffs().iter().map(|&x| m.reduce(x)).collect();
+        if domain == Domain::Ntt {
+            table.forward(&mut corr);
+        }
+        for (x, c) in r.coeffs_mut().iter_mut().zip(corr) {
+            let d = m.sub(*x, c);
+            *x = m.mul_shoup(d, inv_q, inv_q_s);
+        }
+    }
+}
+
+/// Scale-up by new moduli (paper Listing 3): multiplies the polynomial by
+/// `K = ∏ qᵢ` over the existing residues and appends zero residues for each
+/// new modulus. The represented value becomes `K · x` with modulus `K · Q`.
+///
+/// # Panics
+/// Panics if any new modulus already appears in the polynomial's basis.
+pub fn scale_up(poly: &mut RnsPoly, new_tables: &[Arc<NttTable>]) {
+    let existing = poly.moduli();
+    for t in new_tables {
+        assert!(
+            !existing.contains(&t.modulus().value()),
+            "scale_up modulus {} already present",
+            t.modulus()
+        );
+    }
+    let k = BigUint::product_of(
+        &new_tables
+            .iter()
+            .map(|t| t.modulus().value())
+            .collect::<Vec<_>>(),
+    );
+    poly.mul_biguint(&k);
+    poly.append_zero_residues(new_tables);
+}
+
+/// Scale-down (paper Listing 5): divides by `P = ∏ shed moduli` (flooring,
+/// up to the approximate-conversion error of at most `k` units) and sheds
+/// those residues in one pass.
+///
+/// The shed set may be *any* subset of the basis; residues are internally
+/// moved to the end, mirroring `moveResiduesToEnd` in the paper.
+///
+/// # Panics
+/// Panics if a shed modulus is absent or if shedding would leave zero
+/// residues.
+pub fn scale_down(poly: &mut RnsPoly, shed_moduli: &[u64]) {
+    assert!(!shed_moduli.is_empty(), "must shed at least one modulus");
+    assert!(
+        poly.num_residues() > shed_moduli.len(),
+        "cannot shed all residues"
+    );
+    let domain = poly.domain();
+    let shed = poly.extract_residues(shed_moduli);
+    let shed_tables: Vec<Arc<NttTable>> = shed.iter().map(|r| Arc::clone(r.table())).collect();
+    let kept_tables: Vec<Arc<NttTable>> = poly
+        .residues()
+        .iter()
+        .map(|r| Arc::clone(r.table()))
+        .collect();
+
+    let conv = BasisConverter::new(&shed_tables, &kept_tables);
+    // subMe ≈ (x mod P) represented in the kept basis.
+    let corrections = conv.convert_from(&shed, domain, domain);
+    let p = conv.p();
+
+    for (r, corr) in poly.residues_mut().iter_mut().zip(corrections) {
+        let m = *r.table().modulus();
+        let inv_p = m.inv(p.rem_u64(m.value())).expect("moduli coprime");
+        let inv_p_s = m.shoup(inv_p);
+        for (x, &c) in r.coeffs_mut().iter_mut().zip(corr.coeffs()) {
+            let d = m.sub(*x, c);
+            *x = m.mul_shoup(d, inv_p, inv_p_s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrimePool;
+    use bp_math::crt::{crt_decompose, crt_reconstruct};
+
+    fn poly_from_big(pool: &PrimePool, moduli: &[u64], x: &BigUint) -> RnsPoly {
+        let mut p = RnsPoly::zero(pool, moduli, Domain::Coeff);
+        let res = crt_decompose(x, moduli);
+        for (r, v) in p.residues_mut().iter_mut().zip(res) {
+            r.coeffs_mut()[0] = v;
+        }
+        p
+    }
+
+    fn read_big(poly: &RnsPoly, idx: usize) -> BigUint {
+        let res: Vec<u64> = poly.residues().iter().map(|r| r.coeffs()[idx]).collect();
+        crt_reconstruct(&res, &poly.moduli())
+    }
+
+    #[test]
+    fn rns_rescale_divides_by_last_modulus() {
+        let pool = PrimePool::new(1 << 3);
+        let qs = pool.first_primes_below(30, 3);
+        // x = some value < Q
+        let x = BigUint::from(qs[2]).mul_u64(12345).add(&BigUint::from(678u64));
+        let mut p = poly_from_big(&pool, &qs, &x);
+        rns_rescale_once(&mut p);
+        // Expected: close to floor(x / q_last); the RNS identity gives
+        // (x - (x mod q_last rep)) / q_last which may differ from the exact
+        // floor by less than 1 in integer value -> check within 1.
+        let got = read_big(&p, 0);
+        let (expect, _) = x.div_rem_u64(qs[2]);
+        let diff = if got >= expect {
+            got.sub(&expect)
+        } else {
+            expect.sub(&got)
+        };
+        assert!(
+            diff <= BigUint::one(),
+            "rescale off by more than 1: got {got}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn rescale_in_ntt_domain_matches_coeff_domain() {
+        let pool = PrimePool::new(1 << 4);
+        let qs = pool.first_primes_below(28, 3);
+        let coeffs: Vec<i64> = (0..16).map(|i| i * 1_000_003 + 7).collect();
+        let mut a = RnsPoly::from_i64_coeffs(&pool, &qs, &coeffs);
+        let mut b = a.clone();
+        rns_rescale_once(&mut a);
+
+        b.to_ntt();
+        rns_rescale_once(&mut b);
+        b.to_coeff();
+        for i in 0..a.num_residues() {
+            assert_eq!(a.residue(i).coeffs(), b.residue(i).coeffs());
+        }
+    }
+
+    #[test]
+    fn scale_up_multiplies_value_and_modulus() {
+        let pool = PrimePool::new(1 << 3);
+        let all = pool.first_primes_below(30, 4);
+        let (qs, new) = all.split_at(2);
+        let x = BigUint::from(987654321u64);
+        let mut p = poly_from_big(&pool, qs, &x);
+        let new_tables: Vec<_> = new.iter().map(|&q| pool.table(q)).collect();
+        scale_up(&mut p, &new_tables);
+        assert_eq!(p.num_residues(), 4);
+        let got = read_big(&p, 0);
+        let k = BigUint::product_of(new);
+        assert_eq!(got, x.mul(&k));
+    }
+
+    #[test]
+    fn scale_down_inverts_scale_up() {
+        let pool = PrimePool::new(1 << 3);
+        let all = pool.first_primes_below(30, 4);
+        let (qs, new) = all.split_at(2);
+        let x = BigUint::from(424242u64);
+        let mut p = poly_from_big(&pool, qs, &x);
+        let new_tables: Vec<_> = new.iter().map(|&q| pool.table(q)).collect();
+        scale_up(&mut p, &new_tables);
+        scale_down(&mut p, new);
+        assert_eq!(p.moduli(), qs.to_vec());
+        let got = read_big(&p, 0);
+        // scale_down(scale_up(x)) = floor(Kx/K) + small error <= k
+        let diff = if got >= x { got.sub(&x) } else { x.sub(&got) };
+        assert!(
+            diff <= BigUint::from(new.len() as u64),
+            "scale_down error too large: {diff:?}"
+        );
+    }
+
+    #[test]
+    fn scale_down_arbitrary_subset() {
+        let pool = PrimePool::new(1 << 3);
+        let qs = pool.first_primes_below(30, 4);
+        let q_big = BigUint::product_of(&qs);
+        // Value spread across the full modulus.
+        let x = q_big.div_rem_u64(7).0;
+        let mut p = poly_from_big(&pool, &qs, &x);
+        // Shed the *first* and *third* moduli (out of order).
+        let shed = [qs[2], qs[0]];
+        scale_down(&mut p, &shed);
+        assert_eq!(p.moduli(), vec![qs[1], qs[3]]);
+        let got = read_big(&p, 0);
+        let pprod = BigUint::product_of(&shed);
+        let expect = x.div_rem(&pprod).0;
+        let diff = if got >= expect {
+            got.sub(&expect)
+        } else {
+            expect.sub(&got)
+        };
+        assert!(diff <= BigUint::from(shed.len() as u64 + 1));
+    }
+
+    #[test]
+    fn scale_down_in_ntt_domain() {
+        let pool = PrimePool::new(1 << 4);
+        let all = pool.first_primes_below(29, 4);
+        let (qs, new) = all.split_at(2);
+        let coeffs: Vec<i64> = (0..16).map(|i| i * 99991 + 3).collect();
+        let mut a = RnsPoly::from_i64_coeffs(&pool, qs, &coeffs);
+        let new_tables: Vec<_> = new.iter().map(|&q| pool.table(q)).collect();
+        scale_up(&mut a, &new_tables);
+
+        let mut b = a.clone();
+        scale_down(&mut a, new);
+
+        b.to_ntt();
+        scale_down(&mut b, new);
+        b.to_coeff();
+        for i in 0..a.num_residues() {
+            assert_eq!(a.residue(i).coeffs(), b.residue(i).coeffs());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shed all residues")]
+    fn shedding_everything_panics() {
+        let pool = PrimePool::new(1 << 3);
+        let qs = pool.first_primes_below(30, 2);
+        let mut p = RnsPoly::zero(&pool, &qs, Domain::Coeff);
+        scale_down(&mut p, &qs);
+    }
+}

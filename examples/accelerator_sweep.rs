@@ -1,0 +1,52 @@
+//! Accelerator design-space exploration: how BitPacker changes the optimal
+//! hardware word size.
+//!
+//! Builds the modulus chains for one workload across word sizes, runs the
+//! accelerator model, and prints time / energy / area / EDAP per design —
+//! showing that BitPacker makes the narrow 28-bit datapath the best choice
+//! (paper Sec. 6.2).
+//!
+//! Run: `cargo run --release --example accelerator_sweep`
+
+use bitpacker::accel::{area, simulate, AcceleratorConfig};
+use bitpacker::prelude::*;
+
+fn main() {
+    let spec = WorkloadSpec {
+        app: App::SqueezeNet,
+        bootstrap: Bootstrap::BS19,
+    };
+    let base = AcceleratorConfig::craterlake();
+    println!("design sweep for {} (iso-throughput machines)\n", spec.name());
+    println!(
+        "{:>4} {:<10} {:>9} {:>10} {:>10} {:>12}",
+        "w", "scheme", "time(ms)", "energy(mJ)", "area(mm2)", "EDAP"
+    );
+    let mut best: Option<(f64, u32, Representation)> = None;
+    for w in [28u32, 36, 48, 64] {
+        let cfg = base.with_word_bits(w);
+        let a = area::die_area(&cfg).total_mm2();
+        for repr in [Representation::BitPacker, Representation::RnsCkks] {
+            let (chain, al) = spec
+                .build_chain(repr, w, SecurityLevel::Bits128)
+                .expect("chain");
+            let (trace, ctx) = spec.trace(&chain, al);
+            let rep = simulate(&trace, &cfg, &ctx, spec.working_set_mb(&chain));
+            let edap = rep.edp() * a;
+            println!(
+                "{w:>4} {:<10} {:>9.2} {:>10.1} {:>10.1} {:>12.0}",
+                repr.to_string(),
+                rep.ms,
+                rep.energy.total_mj(),
+                a,
+                edap
+            );
+            if best.map(|(b, _, _)| edap < b).unwrap_or(true) {
+                best = Some((edap, w, repr));
+            }
+        }
+    }
+    let (_, w, repr) = best.expect("swept at least one design");
+    println!("\nbest energy-delay-area product: {repr} at {w}-bit words");
+    println!("(the paper's conclusion: BitPacker @ 28-bit is the efficient design point)");
+}

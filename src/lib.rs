@@ -1,0 +1,67 @@
+//! # BitPacker
+//!
+//! A reproduction of *"BitPacker: Enabling High Arithmetic Efficiency in
+//! Fully Homomorphic Encryption Accelerators"* (Samardzic & Sanchez,
+//! ASPLOS 2024) as a complete Rust workspace:
+//!
+//! * a full CKKS FHE library ([`ckks`]) with **two interchangeable RNS
+//!   representations** — the classic RNS-CKKS baseline and BitPacker's
+//!   fixed-width limb packing,
+//! * the number-theoretic substrate ([`math`], [`rns`]),
+//! * a CraterLake-class accelerator performance/energy/area model
+//!   ([`accel`]),
+//! * structural models of the paper's five application benchmarks
+//!   ([`workloads`]).
+//!
+//! This facade crate re-exports the most common types; the `bp-bench`
+//! crate (not re-exported) regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bitpacker::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A small BitPacker context: N = 64, three 30-bit levels, 28-bit words.
+//! let params = CkksParams::builder()
+//!     .log_n(6)
+//!     .word_bits(28)
+//!     .representation(Representation::BitPacker)
+//!     .security(SecurityLevel::Insecure)
+//!     .levels(3, 30)
+//!     .base_modulus_bits(35)
+//!     .build()?;
+//! let ctx = CkksContext::new(&params)?;
+//! let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(1);
+//! let keys = ctx.keygen(&mut rng);
+//! let ev = ctx.evaluator();
+//!
+//! let x = vec![0.5, -0.25, 0.125];
+//! let ct = ctx.encrypt(&ctx.encode(&x, ctx.max_level()), &keys.public, &mut rng);
+//! let sq = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+//! let back = ctx.decrypt_to_values(&sq, &keys.secret, 3);
+//! assert!((back[0] - 0.25).abs() < 1e-3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use bp_accel as accel;
+pub use bp_ckks as ckks;
+pub use bp_math as math;
+pub use bp_rns as rns;
+pub use bp_workloads as workloads;
+
+/// The most commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use bp_accel::{simulate, AcceleratorConfig, FheOp, TraceContext, TraceOp};
+    pub use bp_ckks::{
+        Ciphertext, CkksContext, CkksParams, Evaluator, KeySet, ModulusChain, Plaintext,
+        Representation, SecurityLevel,
+    };
+    pub use bp_math::{BigUint, FactoredScale, Modulus};
+    pub use bp_rns::{Domain, PrimePool, RnsPoly};
+    pub use bp_workloads::{App, Bootstrap, WorkloadSpec};
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the full pipeline from parameter
+//! selection through encrypted computation to accelerator simulation.
+
+use bitpacker::accel::{simulate, AcceleratorConfig};
+use bitpacker::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+#[test]
+fn facade_reexports_work_together() {
+    // math -> rns -> ckks -> workloads -> accel, all through the facade.
+    let q = bitpacker::math::primes::ntt_primes_below(28, 1 << 7)
+        .next()
+        .expect("prime");
+    let m = Modulus::new(q);
+    assert_eq!(m.mul(m.inv(3).expect("inv"), 3), 1);
+
+    let pool = PrimePool::new(1 << 6);
+    let poly = RnsPoly::from_i64_coeffs(&pool, &[q], &[1, 2, 3]);
+    assert_eq!(poly.num_residues(), 1);
+}
+
+#[test]
+fn both_representations_agree_on_results() {
+    // The paper's core functional claim: BitPacker is a re-representation,
+    // not a different scheme — same inputs, same outputs (within noise).
+    let mut outputs = Vec::new();
+    for repr in [Representation::RnsCkks, Representation::BitPacker] {
+        let params = CkksParams::builder()
+            .log_n(8)
+            .word_bits(28)
+            .representation(repr)
+            .security(SecurityLevel::Insecure)
+            .levels(4, 30)
+            .base_modulus_bits(40)
+            .build()
+            .expect("params");
+        let ctx = CkksContext::new(&params).expect("context");
+        let mut rng = ChaCha20Rng::seed_from_u64(2024);
+        let keys = ctx.keygen(&mut rng);
+        let ev = ctx.evaluator();
+        let x = vec![0.9, -0.3, 0.1, 0.7];
+        let ct = ctx.encrypt(&ctx.encode(&x, ctx.max_level()), &keys.public, &mut rng);
+        // ((x^2)^2) across two levels.
+        let a = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+        let b = ev.rescale(&ev.mul(&a, &a, &keys.evaluation));
+        outputs.push(ctx.decrypt_to_values(&b, &keys.secret, 4));
+    }
+    for (u, v) in outputs[0].iter().zip(&outputs[1]) {
+        assert!(
+            (u - v).abs() < 1e-3,
+            "representations disagree: {u} vs {v}"
+        );
+    }
+    // And both match the plaintext computation.
+    for (u, x) in outputs[0].iter().zip([0.9f64, -0.3, 0.1, 0.7]) {
+        assert!((u - x.powi(4)).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn workload_to_accelerator_pipeline() {
+    // Full modeling path: workload -> chain -> trace -> simulation.
+    let spec = WorkloadSpec {
+        app: App::LogReg,
+        bootstrap: Bootstrap::BS19,
+    };
+    let cfg = AcceleratorConfig::craterlake();
+    let mut ms = Vec::new();
+    for repr in [Representation::BitPacker, Representation::RnsCkks] {
+        let (chain, al) = spec
+            .build_chain(repr, 28, SecurityLevel::Bits128)
+            .expect("chain");
+        // Chain invariants observable from outside.
+        assert!(chain.log_q_at(chain.max_level()) > 500.0);
+        for &q in chain.moduli_at(chain.max_level()) {
+            assert!(q < 1 << 28);
+        }
+        let (trace, ctx) = spec.trace(&chain, al);
+        assert!(!trace.is_empty());
+        let rep = simulate(&trace, &cfg, &ctx, spec.working_set_mb(&chain));
+        assert!(rep.ms > 0.0 && rep.energy.total_mj() > 0.0);
+        ms.push(rep.ms);
+    }
+    assert!(
+        ms[0] < ms[1],
+        "BitPacker must be faster: {} vs {} ms",
+        ms[0],
+        ms[1]
+    );
+}
+
+#[test]
+fn chain_scales_survive_roundtrip_through_evaluation() {
+    // Exact scale bookkeeping: after every rescale, the ciphertext's scale
+    // equals the chain's published per-level scale *exactly*.
+    let params = CkksParams::builder()
+        .log_n(7)
+        .word_bits(28)
+        .representation(Representation::BitPacker)
+        .security(SecurityLevel::Insecure)
+        .levels(5, 26)
+        .base_modulus_bits(30)
+        .build()
+        .expect("params");
+    let ctx = CkksContext::new(&params).expect("context");
+    let mut rng = ChaCha20Rng::seed_from_u64(3);
+    let keys = ctx.keygen(&mut rng);
+    let ev = ctx.evaluator();
+    let mut ct = ctx.encrypt(
+        &ctx.encode(&[0.6], ctx.max_level()),
+        &keys.public,
+        &mut rng,
+    );
+    while ct.level() > 0 {
+        ct = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+        assert_eq!(ct.scale(), ctx.chain().scale_at(ct.level()));
+        assert_eq!(ct.moduli(), ctx.chain().moduli_at(ct.level()));
+    }
+}
+
+#[test]
+fn trace_categories_cover_level_management() {
+    let spec = WorkloadSpec {
+        app: App::Rnn,
+        bootstrap: Bootstrap::BS26,
+    };
+    let (chain, al) = spec
+        .build_chain(Representation::BitPacker, 32, SecurityLevel::Bits128)
+        .expect("chain");
+    let (trace, ctx) = spec.trace(&chain, al);
+    let cfg = AcceleratorConfig::craterlake().with_word_bits(32);
+    let rep = simulate(&trace, &cfg, &ctx, 0.0);
+    let share = rep.levelmgmt_mj / rep.energy.total_mj();
+    assert!(
+        (0.001..0.25).contains(&share),
+        "level-management share {share:.3} implausible"
+    );
+}
