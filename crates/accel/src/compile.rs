@@ -167,9 +167,9 @@ fn keyswitch_work(r: usize, ctx: &TraceContext, word_bytes: f64, kshgen: bool) -
     // Mod-up: per digit, convert `digit` residues into the other e - digit.
     w.crb_macs += d * digit * (e - digit) * n;
     w.ntt_count += d * e; // INTT sources + NTT outputs per digit
-    // Inner product with the keyswitch key: 2 polynomials over E residues
-    // per digit. The CRB encapsulates these multiply-accumulates (paper
-    // Sec. 4.2: "the CRB unit encapsulates most multiplies and adds").
+                          // Inner product with the keyswitch key: 2 polynomials over E residues
+                          // per digit. The CRB encapsulates these multiply-accumulates (paper
+                          // Sec. 4.2: "the CRB unit encapsulates most multiplies and adds").
     w.crb_macs += 2.0 * d * e * n;
     // Mod-down by the special primes, both output polynomials.
     w.crb_macs += 2.0 * k * rf * n;

@@ -167,7 +167,10 @@ mod tests {
                 (c.lanes * c.crb_macs_per_lane) as f64 * (c.word_bits as f64).powi(2)
             };
             let crb_ratio = cap(&v) / cap(&base);
-            assert!((crb_ratio - 1.0).abs() < 0.05, "CRB drifts {crb_ratio} at w={w}");
+            assert!(
+                (crb_ratio - 1.0).abs() < 0.05,
+                "CRB drifts {crb_ratio} at w={w}"
+            );
         }
     }
 
@@ -191,6 +194,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside")]
     fn rejects_extreme_words() {
-        AcceleratorConfig::craterlake().with_word_bits(128);
+        let _ = AcceleratorConfig::craterlake().with_word_bits(128);
     }
 }

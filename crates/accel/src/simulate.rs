@@ -93,10 +93,7 @@ pub fn simulate(
             work.kshgen_elems / cfg.throughput(FuKind::KshGen),
         ];
         let mem_cycles = work.dram_bytes / cfg.mem_bytes_per_cycle();
-        let op_cycles = fu_cycles
-            .iter()
-            .copied()
-            .fold(mem_cycles, f64::max);
+        let op_cycles = fu_cycles.iter().copied().fold(mem_cycles, f64::max);
 
         let e = model.energy(&work, ctx.n, cfg);
         report.cycles += op_cycles;

@@ -45,7 +45,7 @@ fn bench_ops(c: &mut Criterion) {
         });
         g.finish();
 
-        let prod = ev.mul(&ct, &ct, &keys.evaluation);
+        let prod = ev.mul(&ct, &ct, &keys.evaluation).expect("aligned");
         let mut g = c.benchmark_group("rescale");
         g.sample_size(10);
         g.bench_function(BenchmarkId::from_parameter(&name), |b| {

@@ -39,11 +39,14 @@ fn main() {
             240,
             overhead * 100.0
         );
-        println!("  moduli (bits): {:?}", chain
-            .moduli_at(top)
-            .iter()
-            .map(|&q| format!("{:.1}", (q as f64).log2()))
-            .collect::<Vec<_>>());
+        println!(
+            "  moduli (bits): {:?}",
+            chain
+                .moduli_at(top)
+                .iter()
+                .map(|&q| format!("{:.1}", (q as f64).log2()))
+                .collect::<Vec<_>>()
+        );
         rows.push(format!("{repr},{words},{logq:.1},{:.3}", overhead));
     }
     println!("\npaper: RNS-CKKS 6 words (60% overhead), BitPacker 4 words (6.6%)");

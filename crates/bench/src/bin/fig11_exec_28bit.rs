@@ -21,7 +21,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut slowdowns = Vec::new();
     for spec in WorkloadSpec::all() {
-        let bp = run_workload(&spec, Representation::BitPacker, &cfg, SecurityLevel::Bits128);
+        let bp = run_workload(
+            &spec,
+            Representation::BitPacker,
+            &cfg,
+            SecurityLevel::Bits128,
+        );
         let rc = run_workload(&spec, Representation::RnsCkks, &cfg, SecurityLevel::Bits128);
         let norm = rc.ms / bp.ms;
         println!(
@@ -31,11 +36,21 @@ fn main() {
             rc.ms,
             norm
         );
-        rows.push(format!("{},{:.3},{:.3},{:.3}", spec.name(), bp.ms, rc.ms, norm));
+        rows.push(format!(
+            "{},{:.3},{:.3},{:.3}",
+            spec.name(),
+            bp.ms,
+            rc.ms,
+            norm
+        ));
         slowdowns.push(norm);
     }
     let g = gmean(&slowdowns);
     println!("\ngmean RNS-CKKS slowdown: {g:.2}x  (paper: 1.59x, up to 3x)");
     rows.push(format!("gmean,,,{g:.3}"));
-    write_csv("fig11_exec_28bit.csv", "workload,bp_ms,rc_ms,rc_norm", &rows);
+    write_csv(
+        "fig11_exec_28bit.csv",
+        "workload,bp_ms,rc_ms,rc_norm",
+        &rows,
+    );
 }

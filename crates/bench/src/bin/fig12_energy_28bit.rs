@@ -20,7 +20,12 @@ fn main() {
     let mut rows = Vec::new();
     let (mut norms, mut edps, mut bp_lvl, mut rc_lvl) = (vec![], vec![], vec![], vec![]);
     for spec in WorkloadSpec::all() {
-        let bp = run_workload(&spec, Representation::BitPacker, &cfg, SecurityLevel::Bits128);
+        let bp = run_workload(
+            &spec,
+            Representation::BitPacker,
+            &cfg,
+            SecurityLevel::Bits128,
+        );
         let rc = run_workload(&spec, Representation::RnsCkks, &cfg, SecurityLevel::Bits128);
         let (ebp, erc) = (bp.energy.total_mj(), rc.energy.total_mj());
         let lvl_bp = bp.levelmgmt_mj / ebp;

@@ -38,7 +38,9 @@ fn run_cpu(app: App, repr: Representation) -> (f64, f64) {
     let ev = ctx.evaluator();
 
     let slots = ctx.params().slots();
-    let vals: Vec<f64> = (0..slots).map(|i| (i as f64 / slots as f64) - 0.5).collect();
+    let vals: Vec<f64> = (0..slots)
+        .map(|i| (i as f64 / slots as f64) - 0.5)
+        .collect();
     let mut ct = ctx.encrypt(&ctx.encode(&vals, ctx.max_level()), &keys.public, &mut rng);
 
     let mix = app.op_mix();
@@ -49,11 +51,13 @@ fn run_cpu(app: App, repr: Representation) -> (f64, f64) {
     while ct.level() > 0 {
         let t0 = Instant::now();
         for _ in 0..scale_ops(mix.hrotate) {
-            ct = ev.rotate(&ct, 1, &keys.evaluation);
+            ct = ev
+                .rotate(&ct, 1, &keys.evaluation)
+                .expect("rotation key present");
         }
         for _ in 0..scale_ops(mix.hadd) {
             let c2 = ct.clone();
-            ct = ev.add(&ct, &c2);
+            ct = ev.add(&ct, &c2).expect("identical operands");
         }
         let half = ctx.encode_at_scale(
             &vec![0.5; slots],
@@ -63,12 +67,12 @@ fn run_cpu(app: App, repr: Representation) -> (f64, f64) {
         for _ in 0..scale_ops(mix.pmult).saturating_sub(1) {
             let _ = ev.mul_plain(&ct, &half);
         }
-        let prod = ev.mul(&ct, &ct, &keys.evaluation);
+        let prod = ev.mul(&ct, &ct, &keys.evaluation).expect("aligned");
         total += t0.elapsed().as_secs_f64();
 
         // Level management, timed separately (the paper's red bars).
         let t1 = Instant::now();
-        ct = ev.rescale(&prod);
+        ct = ev.rescale(&prod).expect("level available");
         let lm = t1.elapsed().as_secs_f64();
         lvl_mgmt += lm;
         total += lm;
@@ -77,9 +81,7 @@ fn run_cpu(app: App, repr: Representation) -> (f64, f64) {
 }
 
 fn main() {
-    println!(
-        "Fig. 13 — CPU execution time, real library (N = 2^{LOG_N}, {WORD_BITS}-bit words)\n"
-    );
+    println!("Fig. 13 — CPU execution time, real library (N = 2^{LOG_N}, {WORD_BITS}-bit words)\n");
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>10} {:>9}",
         "app", "BP (ms)", "BP lvl%", "RC (ms)", "RC lvl%", "speedup"
@@ -100,10 +102,7 @@ fn main() {
             rc_lvl / rc_ms * 100.0,
             speedup
         );
-        rows.push(format!(
-            "{},{bp_ms:.2},{rc_ms:.2},{speedup:.3}",
-            app.name()
-        ));
+        rows.push(format!("{},{bp_ms:.2},{rc_ms:.2},{speedup:.3}", app.name()));
         speedups.push(speedup);
     }
     println!(

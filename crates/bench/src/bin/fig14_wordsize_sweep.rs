@@ -34,5 +34,9 @@ fn main() {
     }
     println!("\n(BitPacker row should be ~flat; RNS-CKKS row rises with word size,");
     println!(" with valleys where a scale divides the word evenly — paper Fig. 14)");
-    write_csv("fig14_wordsize_sweep.csv", "workload,scheme,word_bits,ms", &rows);
+    write_csv(
+        "fig14_wordsize_sweep.csv",
+        "workload,scheme,word_bits,ms",
+        &rows,
+    );
 }

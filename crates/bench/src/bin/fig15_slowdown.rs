@@ -23,7 +23,12 @@ fn main() {
         let cfg = base.with_word_bits(w);
         let mut slowdowns = Vec::new();
         for spec in WorkloadSpec::all() {
-            let bp = run_workload(&spec, Representation::BitPacker, &cfg, SecurityLevel::Bits128);
+            let bp = run_workload(
+                &spec,
+                Representation::BitPacker,
+                &cfg,
+                SecurityLevel::Bits128,
+            );
             let rc = run_workload(&spec, Representation::RnsCkks, &cfg, SecurityLevel::Bits128);
             slowdowns.push(rc.ms / bp.ms);
             if w == 28 {
@@ -45,7 +50,11 @@ fn main() {
     }
     // SHARP comparison (Sec. 6.2).
     let speedup: Vec<f64> = sharp.iter().zip(&bp28).map(|(s, b)| s / b).collect();
-    let edp: Vec<f64> = sharp_edp.iter().zip(&bp28_edp).map(|(s, b)| s / b).collect();
+    let edp: Vec<f64> = sharp_edp
+        .iter()
+        .zip(&bp28_edp)
+        .map(|(s, b)| s / b)
+        .collect();
     println!(
         "\nSec. 6.2 — BitPacker@28-bit vs SHARP-like (36-bit RNS-CKKS):\n  \
          gmean speedup {:.2}x (paper: 1.43x), gmean EDP gain {:.2}x (paper: 2.2x)",

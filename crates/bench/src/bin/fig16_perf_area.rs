@@ -14,7 +14,10 @@ use bp_workloads::WorkloadSpec;
 fn main() {
     let base = AcceleratorConfig::craterlake();
     println!("Fig. 16 — gmean (time x area), normalized to BitPacker @ 28-bit\n");
-    println!("{:>4} {:>10} {:>12} {:>12}", "w", "area mm2", "BitPacker", "RNS-CKKS");
+    println!(
+        "{:>4} {:>10} {:>12} {:>12}",
+        "w", "area mm2", "BitPacker", "RNS-CKKS"
+    );
     let mut rows = Vec::new();
     let mut baseline = None;
     for w in WORD_SIZES {
@@ -23,18 +26,19 @@ fn main() {
         let mut bp_ta = Vec::new();
         let mut rc_ta = Vec::new();
         for spec in WorkloadSpec::all() {
-            let bp = run_workload(&spec, Representation::BitPacker, &cfg, SecurityLevel::Bits128);
+            let bp = run_workload(
+                &spec,
+                Representation::BitPacker,
+                &cfg,
+                SecurityLevel::Bits128,
+            );
             let rc = run_workload(&spec, Representation::RnsCkks, &cfg, SecurityLevel::Bits128);
             bp_ta.push(bp.ms * a);
             rc_ta.push(rc.ms * a);
         }
         let (gbp, grc) = (gmean(&bp_ta), gmean(&rc_ta));
         let norm = *baseline.get_or_insert(gbp);
-        println!(
-            "{w:>4} {a:>10.1} {:>12.2} {:>12.2}",
-            gbp / norm,
-            grc / norm
-        );
+        println!("{w:>4} {a:>10.1} {:>12.2} {:>12.2}", gbp / norm, grc / norm);
         rows.push(format!("{w},{a:.1},{:.4},{:.4}", gbp / norm, grc / norm));
     }
     println!("\npaper: RNS-CKKS @ 64-bit is 2.5x worse perf/area than BitPacker @ 28-bit");

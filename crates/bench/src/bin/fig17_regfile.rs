@@ -23,7 +23,13 @@ fn main() {
         let mut rc_ms = Vec::new();
         for spec in WorkloadSpec::all() {
             bp_ms.push(
-                run_workload(&spec, Representation::BitPacker, &cfg, SecurityLevel::Bits128).ms,
+                run_workload(
+                    &spec,
+                    Representation::BitPacker,
+                    &cfg,
+                    SecurityLevel::Bits128,
+                )
+                .ms,
             );
             rc_ms.push(
                 run_workload(&spec, Representation::RnsCkks, &cfg, SecurityLevel::Bits128).ms,

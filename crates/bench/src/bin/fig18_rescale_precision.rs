@@ -45,8 +45,12 @@ fn precision_bits(repr: Representation, scale_bits: u32, seed: u64) -> Vec<f64> 
     for _ in 0..CTS_PER_SCALE {
         let vals: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let ct = ctx.encrypt(&ctx.encode(&vals, ctx.max_level()), &keys.public, &mut rng);
-        let sq = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
-        let got = ctx.decrypt_to_values(&sq, &keys.secret, slots);
+        let sq = ev
+            .rescale(&ev.mul(&ct, &ct, &keys.evaluation).expect("aligned"))
+            .expect("level available");
+        let got = ctx
+            .decrypt_to_values(&sq, &keys.secret, slots)
+            .expect("budget positive");
         for (g, v) in got.iter().zip(&vals) {
             let err = (g - v * v).abs().max(1e-18);
             bits.push(-err.log2());

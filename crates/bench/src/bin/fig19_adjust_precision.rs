@@ -43,8 +43,12 @@ fn adjust_precision_bits(repr: Representation, scale_bits: u32, seed: u64) -> Ve
     for _ in 0..CTS_PER_SCALE {
         let vals: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let ct = ctx.encrypt(&ctx.encode(&vals, ctx.max_level()), &keys.public, &mut rng);
-        let adj = ev.adjust_to(&ct, ctx.max_level() - 1);
-        let got = ctx.decrypt_to_values(&adj, &keys.secret, slots);
+        let adj = ev
+            .adjust_to(&ct, ctx.max_level() - 1)
+            .expect("downward adjust");
+        let got = ctx
+            .decrypt_to_values(&adj, &keys.secret, slots)
+            .expect("budget positive");
         for (g, v) in got.iter().zip(&vals) {
             let err = (g - v).abs().max(1e-18);
             bits.push(-err.log2());

@@ -40,8 +40,18 @@ fn main() {
     let mut edap = Vec::new();
     let mut rows = Vec::new();
     for spec in WorkloadSpec::all() {
-        let bp = run_workload(&spec, Representation::BitPacker, &perf_cfg, SecurityLevel::Bits128);
-        let rc = run_workload(&spec, Representation::RnsCkks, &original, SecurityLevel::Bits128);
+        let bp = run_workload(
+            &spec,
+            Representation::BitPacker,
+            &perf_cfg,
+            SecurityLevel::Bits128,
+        );
+        let rc = run_workload(
+            &spec,
+            Representation::RnsCkks,
+            &original,
+            SecurityLevel::Bits128,
+        );
         let s = rc.ms / bp.ms;
         let ed = (rc.edp() * a_orig) / (bp.edp() * a_tuned);
         slow.push(s);
@@ -52,9 +62,6 @@ fn main() {
         "gmean speedup (BP on tuned vs R-C on original): {:.2}x",
         gmean(&slow)
     );
-    println!(
-        "gmean EDAP improvement: {:.2}x (paper: 3.0x)",
-        gmean(&edap)
-    );
+    println!("gmean EDAP improvement: {:.2}x (paper: 3.0x)", gmean(&edap));
     write_csv("sec63_area.csv", "workload,speedup,edap_gain", &rows);
 }

@@ -34,9 +34,8 @@ pub fn gmean(xs: &[f64]) -> f64 {
 /// path. Errors are reported but non-fatal (the table already went to
 /// stdout).
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> Option<PathBuf> {
-    let dir = PathBuf::from(
-        std::env::var("BP_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()),
-    );
+    let dir =
+        PathBuf::from(std::env::var("BP_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()));
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return None;

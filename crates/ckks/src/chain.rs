@@ -59,7 +59,10 @@ impl std::fmt::Display for ChainError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ChainError::TargetUnmatched { level } => {
-                write!(f, "no modulus combination matches level {level} within 0.5 bits")
+                write!(
+                    f,
+                    "no modulus combination matches level {level} within 0.5 bits"
+                )
             }
             ChainError::NotEnoughPrimes(msg) => write!(f, "not enough NTT-friendly primes: {msg}"),
             ChainError::SecurityExceeded { needed, allowed } => write!(
@@ -200,7 +203,11 @@ impl ModulusChain {
 
     /// `log₂ Q_l`.
     pub fn log_q_at(&self, l: usize) -> f64 {
-        self.levels[l].moduli.iter().map(|&q| (q as f64).log2()).sum()
+        self.levels[l]
+            .moduli
+            .iter()
+            .map(|&q| (q as f64).log2())
+            .sum()
     }
 
     /// `Q_l` as a big integer.
@@ -292,7 +299,8 @@ fn effective_scale_bits(target: u32, word_bits: u32, min_prime_bits: u32) -> f64
 
 /// Memoized ascending list of NTT-friendly primes below `2^max_bits`.
 fn ascending_pool(two_n: u64, max_bits: u32) -> std::sync::Arc<Vec<u64>> {
-    static CACHE: OnceLock<Mutex<HashMap<(u64, u32), std::sync::Arc<Vec<u64>>>>> = OnceLock::new();
+    type PoolCache = Mutex<HashMap<(u64, u32), std::sync::Arc<Vec<u64>>>>;
+    static CACHE: OnceLock<PoolCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(v) = cache.lock().expect("cache lock").get(&(two_n, max_bits)) {
         return std::sync::Arc::clone(v);
@@ -348,11 +356,11 @@ fn build_rns_ckks_levels(params: &CkksParams) -> Result<Vec<LevelInfo>, ChainErr
     let mut scales = vec![FactoredScale::one(); lmax + 1];
     scales[lmax] = FactoredScale::from_pow2(targets[lmax] as i64);
     let mut groups: Vec<Vec<u64>> = vec![Vec::new(); lmax + 1]; // groups[l] shed when leaving level l
-    // Sum of the `n` smallest NTT-friendly primes not yet used (in bits):
-    // the hard floor on what a group of `n` distinct primes can shed. The
-    // small-prime pool is sparse and *permanently consumed* as the chain
-    // grows — the mechanism behind the paper's "RNS-CKKS cannot meet scales
-    // in the 30–35-bit range at 28-bit words" observation.
+                                                                // Sum of the `n` smallest NTT-friendly primes not yet used (in bits):
+                                                                // the hard floor on what a group of `n` distinct primes can shed. The
+                                                                // small-prime pool is sparse and *permanently consumed* as the chain
+                                                                // grows — the mechanism behind the paper's "RNS-CKKS cannot meet scales
+                                                                // in the 30–35-bit range at 28-bit words" observation.
     let pool = ascending_pool(two_n, w);
     let smallest_unused_sum = |used: &[u64], n: usize| -> Result<f64, ChainError> {
         let mut sum = 0.0;
@@ -605,7 +613,8 @@ fn greedy_terminals(
 /// otherwise; dense sampling is equivalent for the 0.5-bit tolerance) and
 /// memoized process-wide.
 fn terminal_candidates(w: u32, two_n: u64, min_bits: u32) -> Vec<u64> {
-    static CACHE: OnceLock<Mutex<HashMap<(u32, u64, u32), Vec<u64>>>> = OnceLock::new();
+    type CandidateCache = Mutex<HashMap<(u32, u64, u32), Vec<u64>>>;
+    static CACHE: OnceLock<CandidateCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(v) = cache.lock().expect("cache lock").get(&(w, two_n, min_bits)) {
         return v.clone();
@@ -724,7 +733,10 @@ mod tests {
         // 14+15 -> 29... use N=2^16-like min bits by checking the effective
         // scale exceeds the target when min_prime_bits forces it.
         let eff = effective_scale_bits(30, 28, 18);
-        assert!(eff >= 35.0, "effective scale {eff} should be bumped to >= 35");
+        assert!(
+            eff >= 35.0,
+            "effective scale {eff} should be bumped to >= 35"
+        );
         // And with the ring small enough that 15-bit primes exist, the
         // 30-bit scale *is* achievable: two ~15-bit primes.
         let eff_small_n = effective_scale_bits(30, 28, 14);
@@ -749,7 +761,11 @@ mod tests {
         };
         let bp = ModulusChain::new(&mk(Representation::BitPacker)).unwrap();
         let rc = ModulusChain::new(&mk(Representation::RnsCkks)).unwrap();
-        assert!((bp.log_q_at(5) - 240.0).abs() < 2.0, "Q = {:.1}", bp.log_q_at(5));
+        assert!(
+            (bp.log_q_at(5) - 240.0).abs() < 2.0,
+            "Q = {:.1}",
+            bp.log_q_at(5)
+        );
         assert_eq!(bp.residue_count_at(5), 4, "moduli: {:?}", bp.moduli_at(5));
         assert_eq!(rc.residue_count_at(5), 6);
         // Overhead: 6.6% for BitPacker vs 60% for RNS-CKKS (Fig. 1).
@@ -845,7 +861,10 @@ mod tests {
         let mut result = Vec::new();
         let found = greedy_terminals(70.0 - 28.0, &cands, 0, 4, 0.5, &[], &mut result);
         assert!(found);
-        assert!(result.len() >= 2, "42 remaining bits need 2+ sub-28-bit primes");
+        assert!(
+            result.len() >= 2,
+            "42 remaining bits need 2+ sub-28-bit primes"
+        );
         let total: f64 = result.iter().map(|&p| (p as f64).log2()).sum();
         assert!((total - 42.0).abs() < 0.5);
     }

@@ -3,8 +3,10 @@
 use crate::chain::{ChainError, ModulusChain};
 use crate::ciphertext::Ciphertext;
 use crate::encoding::{Encoder, Plaintext};
-use crate::eval::Evaluator;
+use crate::error::EvalError;
+use crate::eval::{EvalPolicy, Evaluator};
 use crate::keys::{self, EvaluationKey, KeySwitchKey, PublicKey, SecretKey};
+use crate::noise::NoiseEstimate;
 use crate::params::CkksParams;
 use crate::sampling;
 use bp_math::crt::{centered_to_f64, crt_reconstruct};
@@ -15,7 +17,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Errors from context construction.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ContextError {
     /// The modulus chain could not be built.
     Chain(ChainError),
@@ -123,9 +125,17 @@ impl CkksContext {
         self.chain.max_level()
     }
 
-    /// Creates an [`Evaluator`] bound to this context.
+    /// Creates a Strict-mode [`Evaluator`] bound to this context:
+    /// misaligned operands are typed errors.
     pub fn evaluator(&self) -> Evaluator<'_> {
-        Evaluator::new(self)
+        Evaluator::new(self, EvalPolicy::Strict)
+    }
+
+    /// Creates an [`Evaluator`] with an explicit alignment policy
+    /// ([`EvalPolicy::AutoAlign`] inserts missing adjusts/rescales and
+    /// counts them in the evaluator's repair log).
+    pub fn evaluator_with_policy(&self, policy: EvalPolicy) -> Evaluator<'_> {
+        Evaluator::new(self, policy)
     }
 
     /// Generates a fresh key set (secret, public, relinearization).
@@ -146,12 +156,7 @@ impl CkksContext {
 
     /// Generates rotation keys for the given step counts and adds them to
     /// the key set.
-    pub fn gen_rotation_keys<R: Rng + ?Sized>(
-        &self,
-        ks: &mut KeySet,
-        steps: &[i64],
-        rng: &mut R,
-    ) {
+    pub fn gen_rotation_keys<R: Rng + ?Sized>(&self, ks: &mut KeySet, steps: &[i64], rng: &mut R) {
         let order = (self.params.n() / 2) as i64;
         for &st in steps {
             let norm = st.rem_euclid(order);
@@ -167,8 +172,12 @@ impl CkksContext {
     /// Generates the conjugation key and adds it to the key set.
     pub fn gen_conjugation_key<R: Rng + ?Sized>(&self, ks: &mut KeySet, rng: &mut R) {
         if ks.evaluation.conjugation.is_none() {
-            ks.evaluation.conjugation =
-                Some(keys::gen_conjugation(&self.pool, &self.chain, &ks.secret, rng));
+            ks.evaluation.conjugation = Some(keys::gen_conjugation(
+                &self.pool,
+                &self.chain,
+                &ks.secret,
+                rng,
+            ));
         }
     }
 
@@ -186,11 +195,7 @@ impl CkksContext {
     pub fn encode_at_scale(&self, vals: &[f64], level: usize, scale: FactoredScale) -> Plaintext {
         let coeffs = self.encoder.embed(vals, scale.to_f64());
         let poly = RnsPoly::from_i128_coeffs(&self.pool, self.chain.moduli_at(level), &coeffs);
-        Plaintext {
-            poly,
-            scale,
-            level,
-        }
+        Plaintext { poly, scale, level }
     }
 
     /// Decodes a plaintext back to real values (one per slot).
@@ -202,13 +207,13 @@ impl CkksContext {
         let n = poly.n();
         let scale = pt.scale.to_f64();
         let mut coeffs = vec![0i128; n];
-        for i in 0..n {
+        for (i, c) in coeffs.iter_mut().enumerate() {
             let residues: Vec<u64> = poly.residues().iter().map(|r| r.coeffs()[i]).collect();
             let wide = crt_reconstruct(&residues, &moduli);
             // Values fit in f64 range after centering; i128 keeps enough
             // precision for the encoder's unembed.
             let centered = centered_to_f64(&wide, &q);
-            coeffs[i] = centered as i128;
+            *c = centered as i128;
         }
         self.encoder.unembed(&coeffs, scale)
     }
@@ -230,14 +235,26 @@ impl CkksContext {
         let mut m = pt.poly.clone();
         m.to_ntt();
 
-        let b = pk.b.restricted(basis);
-        let a = pk.a.restricted(basis);
-        let mut c0 = b.mul(&u);
-        c0.add_assign(&e0);
-        c0.add_assign(&m);
-        let mut c1 = a.mul(&u);
-        c1.add_assign(&e1);
-        Ciphertext::new(c0, c1, pt.level, pt.scale.clone())
+        let b =
+            pk.b.restricted(basis)
+                .expect("public key covers every chain level");
+        let a =
+            pk.a.restricted(basis)
+                .expect("public key covers every chain level");
+        let mut c0 = b
+            .mul(&u)
+            .expect("encryption operands share the chain basis");
+        c0.add_assign(&e0)
+            .expect("encryption operands share the chain basis");
+        c0.add_assign(&m)
+            .expect("encryption operands share the chain basis");
+        let mut c1 = a
+            .mul(&u)
+            .expect("encryption operands share the chain basis");
+        c1.add_assign(&e1)
+            .expect("encryption operands share the chain basis");
+        let noise = NoiseEstimate::fresh(self.params.n(), pt.scale.log2());
+        Ciphertext::new(c0, c1, pt.level, pt.scale.clone(), noise)
     }
 
     /// Encrypts a plaintext under the secret key (smaller noise; used by
@@ -255,20 +272,57 @@ impl CkksContext {
         let mut m = pt.poly.clone();
         m.to_ntt();
 
-        let s = sk.s.restricted(basis);
+        let s =
+            sk.s.restricted(basis)
+                .expect("secret key covers every chain level");
         // c0 = -a*s + e + m
-        let mut c0 = a.mul(&s).neg();
-        c0.add_assign(&e);
-        c0.add_assign(&m);
-        Ciphertext::new(c0, a, pt.level, pt.scale.clone())
+        let mut c0 = a
+            .mul(&s)
+            .expect("encryption operands share the chain basis")
+            .neg();
+        c0.add_assign(&e)
+            .expect("encryption operands share the chain basis");
+        c0.add_assign(&m)
+            .expect("encryption operands share the chain basis");
+        let noise = NoiseEstimate::fresh(self.params.n(), pt.scale.log2());
+        Ciphertext::new(c0, a, pt.level, pt.scale.clone(), noise)
     }
 
     /// Decrypts a ciphertext: `m ≈ c0 + c1·s`.
-    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Plaintext {
+    ///
+    /// Guards the noise budget first: if the analytic estimate says the
+    /// noise has overtaken the message, decryption would return garbage and
+    /// this reports [`EvalError::BudgetExhausted`] instead. Use
+    /// [`CkksContext::decrypt_unchecked`] to bypass the guard (e.g. to
+    /// measure actual noise).
+    ///
+    /// # Errors
+    /// [`EvalError::BudgetExhausted`] when no error-free message bits
+    /// remain.
+    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Result<Plaintext, EvalError> {
+        if ct.noise.clear_bits() <= 0.0 {
+            return Err(EvalError::BudgetExhausted {
+                noise_bits: ct.noise.noise_bits,
+                message_bits: ct.noise.message_bits,
+            });
+        }
+        Ok(self.decrypt_unchecked(ct, sk))
+    }
+
+    /// Decrypts without the noise-budget guard. The result may be pure
+    /// noise if the budget is spent; [`crate::noise::measure_noise_bits`]
+    /// uses this to quantify the actual error.
+    pub fn decrypt_unchecked(&self, ct: &Ciphertext, sk: &SecretKey) -> Plaintext {
         let basis = ct.moduli();
-        let s = sk.s.restricted(&basis);
-        let mut m = ct.c1.mul(&s);
-        m.add_assign(&ct.c0);
+        let s =
+            sk.s.restricted(&basis)
+                .expect("secret key covers every chain level");
+        let mut m = ct
+            .c1
+            .mul(&s)
+            .expect("decryption operands share the ciphertext basis");
+        m.add_assign(&ct.c0)
+            .expect("decryption operands share the ciphertext basis");
         Plaintext {
             poly: m,
             scale: ct.scale.clone(),
@@ -277,14 +331,17 @@ impl CkksContext {
     }
 
     /// Convenience: decrypt + decode, truncated to `count` values.
+    ///
+    /// # Errors
+    /// Same as [`CkksContext::decrypt`].
     pub fn decrypt_to_values(
         &self,
         ct: &Ciphertext,
         sk: &SecretKey,
         count: usize,
-    ) -> Vec<f64> {
-        let mut v = self.decode(&self.decrypt(ct, sk));
+    ) -> Result<Vec<f64>, EvalError> {
+        let mut v = self.decode(&self.decrypt(ct, sk)?);
         v.truncate(count);
-        v
+        Ok(v)
     }
 }

@@ -155,7 +155,10 @@ impl Encoder {
     /// Panics if `vals.len() > slots`.
     pub fn embed(&self, vals: &[f64], scale: f64) -> Vec<i128> {
         self.embed_complex(
-            &vals.iter().map(|&v| Complex::new(v, 0.0)).collect::<Vec<_>>(),
+            &vals
+                .iter()
+                .map(|&v| Complex::new(v, 0.0))
+                .collect::<Vec<_>>(),
             scale,
         )
     }

@@ -5,228 +5,470 @@
 //! same as in RNS-CKKS"). The hybrid keyswitch works over whatever residue
 //! basis the ciphertext currently has, which is what lets the same
 //! machinery serve both representations.
+//!
+//! Every operation returns a typed [`EvalError`] instead of panicking. Under
+//! [`EvalPolicy::Strict`] (the default) misaligned operands are an error;
+//! under [`EvalPolicy::AutoAlign`] the evaluator transparently inserts the
+//! missing `adjust_to`/`rescale` calls, recording each repair in its
+//! [`RepairLog`].
 
 use crate::chain::ModulusChain;
 use crate::ciphertext::Ciphertext;
 use crate::context::CkksContext;
 use crate::encoding::Plaintext;
+use crate::error::EvalError;
 use crate::keys::{galois_element, EvaluationKey, KeySwitchKey};
 use crate::levels;
 use bp_rns::basis::BasisConverter;
 use bp_rns::rescale::scale_down;
 use bp_rns::{Domain, RnsPoly};
+use std::cell::Cell;
+
+/// How the evaluator treats misaligned operands (different levels or
+/// scales).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalPolicy {
+    /// Misaligned operands are a typed error; the circuit author inserts
+    /// every `adjust_to`/`rescale` explicitly. The default.
+    #[default]
+    Strict,
+    /// The evaluator inserts the missing level/scale fixes itself and
+    /// counts them in the [`RepairLog`].
+    AutoAlign,
+}
+
+/// Counters of the fixes an [`EvalPolicy::AutoAlign`] evaluator inserted.
+///
+/// Explicit `adjust_to`/`rescale` calls are *not* counted — only repairs
+/// the evaluator decided on by itself. A Strict-mode evaluator always
+/// reports zeros.
+#[derive(Debug, Clone, Default)]
+pub struct RepairLog {
+    adjusts: Cell<u64>,
+    rescales: Cell<u64>,
+}
+
+impl RepairLog {
+    /// Number of automatic `adjust_to` insertions.
+    pub fn adjusts(&self) -> u64 {
+        self.adjusts.get()
+    }
+
+    /// Number of automatic `rescale` insertions.
+    pub fn rescales(&self) -> u64 {
+        self.rescales.get()
+    }
+
+    /// Total automatic repairs.
+    pub fn total(&self) -> u64 {
+        self.adjusts() + self.rescales()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.adjusts.set(0);
+        self.rescales.set(0);
+    }
+}
 
 /// Operation dispatcher bound to a [`CkksContext`].
 ///
-/// Created via [`CkksContext::evaluator`].
-#[derive(Debug, Clone, Copy)]
+/// Created via [`CkksContext::evaluator`] (Strict) or
+/// [`CkksContext::evaluator_with_policy`].
+#[derive(Debug, Clone)]
 pub struct Evaluator<'a> {
     ctx: &'a CkksContext,
+    policy: EvalPolicy,
+    repairs: RepairLog,
 }
 
 impl<'a> Evaluator<'a> {
-    pub(crate) fn new(ctx: &'a CkksContext) -> Self {
-        Self { ctx }
+    pub(crate) fn new(ctx: &'a CkksContext, policy: EvalPolicy) -> Self {
+        Self {
+            ctx,
+            policy,
+            repairs: RepairLog::default(),
+        }
     }
 
     fn chain(&self) -> &ModulusChain {
         self.ctx.chain()
     }
 
-    fn assert_aligned(&self, a: &Ciphertext, b: &Ciphertext) {
-        assert_eq!(a.level, b.level, "operands at different levels");
-        assert_eq!(
-            a.scale, b.scale,
-            "operands at different scales; adjust first"
-        );
+    /// The alignment policy this evaluator runs under.
+    pub fn policy(&self) -> EvalPolicy {
+        self.policy
+    }
+
+    /// The repairs inserted so far (nonzero only under
+    /// [`EvalPolicy::AutoAlign`]).
+    pub fn repairs(&self) -> &RepairLog {
+        &self.repairs
+    }
+
+    /// Checks level+scale alignment; under AutoAlign returns repaired
+    /// clones, under Strict a typed error.
+    fn align(&self, a: &Ciphertext, b: &Ciphertext) -> Result<(Ciphertext, Ciphertext), EvalError> {
+        let mut a = a.clone();
+        let mut b = b.clone();
+        // Each pass fixes one misalignment; two passes cover the worst
+        // common case (one operand multiplied-but-unrescaled, the other at
+        // a higher level), with slack for scale schedules that need an
+        // extra round.
+        for _ in 0..4 {
+            if a.level == b.level && a.scale == b.scale {
+                return Ok((a, b));
+            }
+            if self.policy == EvalPolicy::Strict {
+                return Err(if a.level != b.level {
+                    EvalError::LevelMismatch {
+                        left: a.level,
+                        right: b.level,
+                    }
+                } else {
+                    EvalError::ScaleMismatch {
+                        left_log2: a.scale.log2(),
+                        right_log2: b.scale.log2(),
+                    }
+                });
+            }
+            if a.level != b.level {
+                let target = a.level.min(b.level);
+                let hi = if a.level > b.level { &mut a } else { &mut b };
+                levels::adjust_to(hi, self.chain(), self.ctx.pool(), target)?;
+                self.repairs.adjusts.set(self.repairs.adjusts.get() + 1);
+                continue;
+            }
+            // Same level, different scale: rescale the larger-scale operand
+            // (it is the unrescaled product), then realign levels next pass.
+            let hi = if a.scale.log2() > b.scale.log2() {
+                &mut a
+            } else {
+                &mut b
+            };
+            if hi.level == 0 {
+                return Err(EvalError::AutoAlignFailed {
+                    reason: format!(
+                        "scales 2^{:.2} vs 2^{:.2} at level 0: no modulus left to \
+                         rescale by",
+                        a.scale.log2(),
+                        b.scale.log2()
+                    ),
+                });
+            }
+            levels::rescale(hi, self.chain(), self.ctx.pool())?;
+            self.repairs.rescales.set(self.repairs.rescales.get() + 1);
+        }
+        Err(EvalError::AutoAlignFailed {
+            reason: format!(
+                "operands did not converge after 4 repair passes (levels {} vs {}, \
+             scales 2^{:.2} vs 2^{:.2})",
+                a.level,
+                b.level,
+                a.scale.log2(),
+                b.scale.log2()
+            ),
+        })
+    }
+
+    /// Aligns only the levels of two operands (scales are allowed to
+    /// differ, as in multiplication).
+    fn align_levels(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+    ) -> Result<(Ciphertext, Ciphertext), EvalError> {
+        if a.level == b.level {
+            return Ok((a.clone(), b.clone()));
+        }
+        if self.policy == EvalPolicy::Strict {
+            return Err(EvalError::LevelMismatch {
+                left: a.level,
+                right: b.level,
+            });
+        }
+        let target = a.level.min(b.level);
+        let mut a = a.clone();
+        let mut b = b.clone();
+        let hi = if a.level > b.level { &mut a } else { &mut b };
+        levels::adjust_to(hi, self.chain(), self.ctx.pool(), target)?;
+        self.repairs.adjusts.set(self.repairs.adjusts.get() + 1);
+        Ok((a, b))
+    }
+
+    /// Aligns a ciphertext to a plaintext's level (only downward adjusts
+    /// are possible — the plaintext cannot be moved without re-encoding).
+    fn align_to_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        if a.level == pt.level {
+            return Ok(a.clone());
+        }
+        if self.policy == EvalPolicy::Strict || a.level < pt.level {
+            return Err(EvalError::PlaintextLevelMismatch {
+                ciphertext: a.level,
+                plaintext: pt.level,
+            });
+        }
+        let mut a = a.clone();
+        levels::adjust_to(&mut a, self.chain(), self.ctx.pool(), pt.level)?;
+        self.repairs.adjusts.set(self.repairs.adjusts.get() + 1);
+        Ok(a)
     }
 
     /// Homomorphic elementwise addition.
     ///
-    /// # Panics
-    /// Panics if levels or scales differ (use [`Evaluator::adjust_to`]).
-    #[must_use]
-    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        self.assert_aligned(a, b);
-        Ciphertext::new(
-            a.c0.add(&b.c0),
-            a.c1.add(&b.c1),
+    /// # Errors
+    /// [`EvalError::LevelMismatch`] / [`EvalError::ScaleMismatch`] under
+    /// Strict when the operands are misaligned (use [`Evaluator::adjust_to`]
+    /// or [`EvalPolicy::AutoAlign`]).
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        let (a, b) = self.align(a, b)?;
+        Ok(Ciphertext::new(
+            a.c0.add(&b.c0)?,
+            a.c1.add(&b.c1)?,
             a.level,
             a.scale.clone(),
-        )
+            a.noise.add(&b.noise),
+        ))
     }
 
     /// Homomorphic elementwise subtraction.
     ///
-    /// # Panics
-    /// Panics if levels or scales differ.
-    #[must_use]
-    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        self.assert_aligned(a, b);
-        Ciphertext::new(
-            a.c0.sub(&b.c0),
-            a.c1.sub(&b.c1),
+    /// # Errors
+    /// Same alignment errors as [`Evaluator::add`].
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        let (a, b) = self.align(a, b)?;
+        Ok(Ciphertext::new(
+            a.c0.sub(&b.c0)?,
+            a.c1.sub(&b.c1)?,
             a.level,
             a.scale.clone(),
-        )
+            a.noise.add(&b.noise),
+        ))
     }
 
     /// Adds an (unencrypted) plaintext to a ciphertext.
     ///
-    /// # Panics
-    /// Panics if the plaintext level or scale does not match.
-    #[must_use]
-    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        assert_eq!(a.level, pt.level, "plaintext level mismatch");
-        assert_eq!(a.scale, pt.scale, "plaintext scale mismatch");
+    /// # Errors
+    /// [`EvalError::PlaintextLevelMismatch`] /
+    /// [`EvalError::PlaintextScaleMismatch`] when the plaintext was not
+    /// encoded for the ciphertext's level and scale.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        let a = self.align_to_plain(a, pt)?;
+        if a.scale != pt.scale {
+            return Err(EvalError::PlaintextScaleMismatch {
+                ciphertext_log2: a.scale.log2(),
+                plaintext_log2: pt.scale.log2(),
+            });
+        }
         let mut p = pt.poly.clone();
         p.to_ntt();
-        Ciphertext::new(a.c0.add(&p), a.c1.clone(), a.level, a.scale.clone())
+        Ok(Ciphertext::new(
+            a.c0.add(&p)?,
+            a.c1.clone(),
+            a.level,
+            a.scale.clone(),
+            a.noise,
+        ))
     }
 
     /// Multiplies a ciphertext by a plaintext (no relinearization needed;
     /// paper Sec. 2.2 — "multiply allows one operand to be unencrypted").
     /// The result's scale is the product of the operand scales.
     ///
-    /// # Panics
-    /// Panics if the plaintext level does not match.
-    #[must_use]
-    pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        assert_eq!(a.level, pt.level, "plaintext level mismatch");
+    /// # Errors
+    /// [`EvalError::PlaintextLevelMismatch`] when the levels differ.
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        let a = self.align_to_plain(a, pt)?;
         let mut p = pt.poly.clone();
         p.to_ntt();
-        Ciphertext::new(
-            a.c0.mul(&p),
-            a.c1.mul(&p),
+        Ok(Ciphertext::new(
+            a.c0.mul(&p)?,
+            a.c1.mul(&p)?,
             a.level,
             a.scale.mul(&pt.scale),
-        )
+            a.noise.mul_plain(pt.scale.log2()),
+        ))
     }
 
     /// Homomorphic ciphertext–ciphertext multiplication with
     /// relinearization. The result's scale is `S_a · S_b`; follow with
     /// [`Evaluator::rescale`] to bring it back to the level scale.
     ///
-    /// # Panics
-    /// Panics if the operands' levels differ.
-    #[must_use]
-    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, ek: &EvaluationKey) -> Ciphertext {
-        assert_eq!(a.level, b.level, "operands at different levels");
-        let d0 = a.c0.mul(&b.c0);
-        let mut d1 = a.c0.mul(&b.c1);
-        d1.add_assign(&a.c1.mul(&b.c0));
-        let d2 = a.c1.mul(&b.c1);
-        let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin);
-        Ciphertext::new(
-            d0.add(&ks_b),
-            d1.add(&ks_a),
+    /// # Errors
+    /// [`EvalError::LevelMismatch`] under Strict when the levels differ.
+    pub fn mul(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        ek: &EvaluationKey,
+    ) -> Result<Ciphertext, EvalError> {
+        let (a, b) = self.align_levels(a, b)?;
+        let d0 = a.c0.mul(&b.c0)?;
+        let mut d1 = a.c0.mul(&b.c1)?;
+        d1.add_assign(&a.c1.mul(&b.c0)?)?;
+        let d2 = a.c1.mul(&b.c1)?;
+        let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin)?;
+        let n = self.ctx.params().n();
+        Ok(Ciphertext::new(
+            d0.add(&ks_b)?,
+            d1.add(&ks_a)?,
             a.level,
             a.scale.mul(&b.scale),
-        )
+            a.noise.mul(&b.noise).keyswitch(n),
+        ))
     }
 
     /// Homomorphic squaring (saves one polynomial product vs. `mul`).
-    #[must_use]
-    pub fn square(&self, a: &Ciphertext, ek: &EvaluationKey) -> Ciphertext {
-        let d0 = a.c0.mul(&a.c0);
-        let mut d1 = a.c0.mul(&a.c1);
-        d1.add_assign(&d1.clone());
-        let d2 = a.c1.mul(&a.c1);
-        let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin);
-        Ciphertext::new(d0.add(&ks_b), d1.add(&ks_a), a.level, a.scale.square())
+    ///
+    /// # Errors
+    /// Propagates keyswitching failures.
+    pub fn square(&self, a: &Ciphertext, ek: &EvaluationKey) -> Result<Ciphertext, EvalError> {
+        let d0 = a.c0.mul(&a.c0)?;
+        let mut d1 = a.c0.mul(&a.c1)?;
+        d1.add_assign(&d1.clone())?;
+        let d2 = a.c1.mul(&a.c1)?;
+        let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin)?;
+        let n = self.ctx.params().n();
+        Ok(Ciphertext::new(
+            d0.add(&ks_b)?,
+            d1.add(&ks_a)?,
+            a.level,
+            a.scale.square(),
+            a.noise.mul(&a.noise).keyswitch(n),
+        ))
     }
 
     /// Homomorphic slot rotation by `steps` (positive = left).
     ///
-    /// # Panics
-    /// Panics if no rotation key for `steps` exists in `ek` (generate with
-    /// [`CkksContext::gen_rotation_keys`]).
-    #[must_use]
-    pub fn rotate(&self, a: &Ciphertext, steps: i64, ek: &EvaluationKey) -> Ciphertext {
+    /// # Errors
+    /// [`EvalError::MissingRotationKey`] if no rotation key for `steps`
+    /// exists in `ek` (generate with [`CkksContext::gen_rotation_keys`]).
+    pub fn rotate(
+        &self,
+        a: &Ciphertext,
+        steps: i64,
+        ek: &EvaluationKey,
+    ) -> Result<Ciphertext, EvalError> {
         let n = self.ctx.params().n();
         let order = (n / 2) as i64;
+        let normalized = steps.rem_euclid(order);
         let key = ek
             .rotations
-            .get(&steps.rem_euclid(order))
-            .unwrap_or_else(|| panic!("no rotation key for {steps} steps"));
+            .get(&normalized)
+            .ok_or(EvalError::MissingRotationKey { steps, normalized })?;
         let t = galois_element(steps, n);
 
-        let rot = |p: &RnsPoly| -> RnsPoly {
+        let rot = |p: &RnsPoly| -> Result<RnsPoly, EvalError> {
             let mut c = p.clone();
             c.to_coeff();
-            let mut r = c.automorphism(t);
+            let mut r = c.automorphism(t)?;
             r.to_ntt();
-            r
+            Ok(r)
         };
-        let c0t = rot(&a.c0);
-        let c1t = rot(&a.c1);
-        let (ks_b, ks_a) = self.apply_ksk(&c1t, key);
-        Ciphertext::new(c0t.add(&ks_b), ks_a, a.level, a.scale.clone())
+        let c0t = rot(&a.c0)?;
+        let c1t = rot(&a.c1)?;
+        let (ks_b, ks_a) = self.apply_ksk(&c1t, key)?;
+        Ok(Ciphertext::new(
+            c0t.add(&ks_b)?,
+            ks_a,
+            a.level,
+            a.scale.clone(),
+            a.noise.keyswitch(n),
+        ))
     }
 
     /// Homomorphic negation.
-    #[must_use]
-    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
-        Ciphertext::new(a.c0.neg(), a.c1.neg(), a.level, a.scale.clone())
+    ///
+    /// # Errors
+    /// Never fails today; returns `Result` for uniformity with the rest of
+    /// the evaluation API.
+    pub fn negate(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        Ok(Ciphertext::new(
+            a.c0.neg(),
+            a.c1.neg(),
+            a.level,
+            a.scale.clone(),
+            a.noise,
+        ))
     }
 
     /// Subtracts a plaintext from a ciphertext.
     ///
-    /// # Panics
-    /// Panics if the plaintext level or scale does not match.
-    #[must_use]
-    pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        assert_eq!(a.level, pt.level, "plaintext level mismatch");
-        assert_eq!(a.scale, pt.scale, "plaintext scale mismatch");
+    /// # Errors
+    /// Same alignment errors as [`Evaluator::add_plain`].
+    pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        let a = self.align_to_plain(a, pt)?;
+        if a.scale != pt.scale {
+            return Err(EvalError::PlaintextScaleMismatch {
+                ciphertext_log2: a.scale.log2(),
+                plaintext_log2: pt.scale.log2(),
+            });
+        }
         let mut p = pt.poly.clone();
         p.to_ntt();
-        Ciphertext::new(a.c0.sub(&p), a.c1.clone(), a.level, a.scale.clone())
+        Ok(Ciphertext::new(
+            a.c0.sub(&p)?,
+            a.c1.clone(),
+            a.level,
+            a.scale.clone(),
+            a.noise,
+        ))
     }
 
     /// Complex conjugation of the slot values (the Galois automorphism
     /// `X → X^{2N−1}`). Requires the conjugation key (see
     /// [`CkksContext::gen_conjugation_key`]).
     ///
-    /// # Panics
-    /// Panics if no conjugation key exists in `ek`.
-    #[must_use]
-    pub fn conjugate(&self, a: &Ciphertext, ek: &EvaluationKey) -> Ciphertext {
+    /// # Errors
+    /// [`EvalError::MissingConjugationKey`] if `ek` has no conjugation key.
+    pub fn conjugate(&self, a: &Ciphertext, ek: &EvaluationKey) -> Result<Ciphertext, EvalError> {
         let n = self.ctx.params().n();
         let t = 2 * n - 1;
         let key = ek
             .conjugation
             .as_ref()
-            .expect("no conjugation key; call gen_conjugation_key first");
-        let rot = |p: &bp_rns::RnsPoly| -> bp_rns::RnsPoly {
+            .ok_or(EvalError::MissingConjugationKey)?;
+        let rot = |p: &RnsPoly| -> Result<RnsPoly, EvalError> {
             let mut c = p.clone();
             c.to_coeff();
-            let mut r = c.automorphism(t);
+            let mut r = c.automorphism(t)?;
             r.to_ntt();
-            r
+            Ok(r)
         };
-        let c0t = rot(&a.c0);
-        let c1t = rot(&a.c1);
-        let (ks_b, ks_a) = self.apply_ksk(&c1t, key);
-        Ciphertext::new(c0t.add(&ks_b), ks_a, a.level, a.scale.clone())
+        let c0t = rot(&a.c0)?;
+        let c1t = rot(&a.c1)?;
+        let (ks_b, ks_a) = self.apply_ksk(&c1t, key)?;
+        Ok(Ciphertext::new(
+            c0t.add(&ks_b)?,
+            ks_a,
+            a.level,
+            a.scale.clone(),
+            a.noise.keyswitch(n),
+        ))
     }
 
     /// Rescales to the next level down (dispatches to the representation's
     /// rescale; paper Listings 1 and 4).
-    #[must_use]
-    pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+    ///
+    /// # Errors
+    /// [`EvalError::LevelExhausted`] at level 0.
+    pub fn rescale(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
         let mut ct = a.clone();
-        levels::rescale(&mut ct, self.chain(), self.ctx.pool());
-        ct
+        levels::rescale(&mut ct, self.chain(), self.ctx.pool())?;
+        Ok(ct)
     }
 
     /// Adjusts down to `target_level` (paper Listings 2 and 6), preserving
     /// the encrypted values and landing on the chain scale so the result
     /// can be added to rescaled ciphertexts.
-    #[must_use]
-    pub fn adjust_to(&self, a: &Ciphertext, target_level: usize) -> Ciphertext {
+    ///
+    /// # Errors
+    /// [`EvalError::AdjustUpward`] if `target_level` exceeds the operand's
+    /// level.
+    pub fn adjust_to(&self, a: &Ciphertext, target_level: usize) -> Result<Ciphertext, EvalError> {
         let mut ct = a.clone();
-        levels::adjust_to(&mut ct, self.chain(), self.ctx.pool(), target_level);
-        ct
+        levels::adjust_to(&mut ct, self.chain(), self.ctx.pool(), target_level)?;
+        Ok(ct)
     }
 
     /// Hybrid keyswitch: takes `d` (over the current level's basis, NTT
@@ -236,7 +478,11 @@ impl<'a> Evaluator<'a> {
     /// Per digit: slice the active residues, mod-up to the extended basis
     /// `Q_ℓ ∪ P` (a CRB operation), inner-product with the key, then
     /// mod-down by the special primes `P` (another CRB; paper Sec. 4.3).
-    pub(crate) fn apply_ksk(&self, d: &RnsPoly, ksk: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
+    pub(crate) fn apply_ksk(
+        &self,
+        d: &RnsPoly,
+        ksk: &KeySwitchKey,
+    ) -> Result<(RnsPoly, RnsPoly), EvalError> {
         let pool = self.ctx.pool();
         let active = d.moduli();
         let special = self.chain().special().to_vec();
@@ -256,15 +502,15 @@ impl<'a> Evaluator<'a> {
             if c_j.is_empty() {
                 continue;
             }
-            let src = d.restricted(&c_j);
+            let src = d.restricted(&c_j)?;
             let rest: Vec<u64> = f_l.iter().copied().filter(|q| !c_j.contains(q)).collect();
             let ext = if rest.is_empty() {
                 src.clone()
             } else {
                 let src_tables: Vec<_> = c_j.iter().map(|&q| pool.table(q)).collect();
                 let dst_tables: Vec<_> = rest.iter().map(|&q| pool.table(q)).collect();
-                let conv = BasisConverter::new(&src_tables, &dst_tables);
-                let mut converted = conv.convert_from(src.residues(), Domain::Ntt, Domain::Ntt);
+                let conv = BasisConverter::new(&src_tables, &dst_tables)?;
+                let mut converted = conv.convert_from(src.residues(), Domain::Ntt, Domain::Ntt)?;
                 // Assemble in f_l order: originals where present, converted
                 // otherwise.
                 let mut residues = Vec::with_capacity(f_l.len());
@@ -279,16 +525,16 @@ impl<'a> Evaluator<'a> {
                         ));
                     }
                 }
-                RnsPoly::from_residues(Domain::Ntt, residues)
+                RnsPoly::from_residues(Domain::Ntt, residues)?
             };
-            let kb = digit.b.restricted(&f_l);
-            let ka = digit.a.restricted(&f_l);
-            acc_b.add_assign(&ext.mul(&kb));
-            acc_a.add_assign(&ext.mul(&ka));
+            let kb = digit.b.restricted(&f_l)?;
+            let ka = digit.a.restricted(&f_l)?;
+            acc_b.add_assign(&ext.mul(&kb)?)?;
+            acc_a.add_assign(&ext.mul(&ka)?)?;
         }
 
-        scale_down(&mut acc_b, &special);
-        scale_down(&mut acc_a, &special);
-        (acc_b, acc_a)
+        scale_down(&mut acc_b, &special)?;
+        scale_down(&mut acc_a, &special)?;
+        Ok((acc_b, acc_a))
     }
 }

@@ -103,8 +103,12 @@ pub(crate) fn gen_public<R: Rng + ?Sized>(
     let mut e = sampling::gaussian_poly(pool, &basis, rng);
     e.to_ntt();
     // b = -a*s + e
-    let mut b = a.mul(&sk.s).neg();
-    b.add_assign(&e);
+    let mut b = a
+        .mul(&sk.s)
+        .expect("key material shares the full basis")
+        .neg();
+    b.add_assign(&e)
+        .expect("key material shares the full basis");
     PublicKey { b, a }
 }
 
@@ -155,8 +159,10 @@ pub(crate) fn gen_ksk<R: Rng + ?Sized>(
         // b = t_j * source - a*s + e
         let mut b = source.clone();
         b.mul_biguint(&t_j);
-        b.sub_assign(&a.mul(&sk.s));
-        b.add_assign(&e);
+        b.sub_assign(&a.mul(&sk.s).expect("key material shares the full basis"))
+            .expect("key material shares the full basis");
+        b.add_assign(&e)
+            .expect("key material shares the full basis");
         digits.push(KskDigit { moduli: d_j, b, a });
     }
     KeySwitchKey { digits }
@@ -169,7 +175,7 @@ pub(crate) fn gen_relin<R: Rng + ?Sized>(
     sk: &SecretKey,
     rng: &mut R,
 ) -> KeySwitchKey {
-    let s2 = sk.s.mul(&sk.s);
+    let s2 = sk.s.mul(&sk.s).expect("key material shares the full basis");
     gen_ksk(pool, chain, sk, &s2, rng)
 }
 
@@ -191,7 +197,9 @@ pub(crate) fn gen_conjugation<R: Rng + ?Sized>(
     let t = 2 * pool.n() - 1;
     let mut s_coeff = sk.s.clone();
     s_coeff.to_coeff();
-    let mut s_t = s_coeff.automorphism(t);
+    let mut s_t = s_coeff
+        .automorphism(t)
+        .expect("2N-1 is odd and the key is in coefficient domain");
     s_t.to_ntt();
     gen_ksk(pool, chain, sk, &s_t, rng)
 }
@@ -207,7 +215,9 @@ pub(crate) fn gen_rotation<R: Rng + ?Sized>(
     let t = galois_element(steps, pool.n());
     let mut s_coeff = sk.s.clone();
     s_coeff.to_coeff();
-    let mut s_t = s_coeff.automorphism(t);
+    let mut s_t = s_coeff
+        .automorphism(t)
+        .expect("Galois elements are odd and the key is in coefficient domain");
     s_t.to_ntt();
     gen_ksk(pool, chain, sk, &s_t, rng)
 }
@@ -227,9 +237,6 @@ mod tests {
         // Rotating by the full slot count is the identity.
         assert_eq!(galois_element((n / 2) as i64, n), 1);
         // Negative steps wrap.
-        assert_eq!(
-            galois_element(-1, n),
-            galois_element((n / 2 - 1) as i64, n)
-        );
+        assert_eq!(galois_element(-1, n), galois_element((n / 2 - 1) as i64, n));
     }
 }

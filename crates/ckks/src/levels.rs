@@ -15,9 +15,14 @@
 //! Both adjusts round their exact rational constant `K` to the nearest
 //! integer; that rounding is the only approximation and is what the
 //! precision experiments (paper Figs. 18–19) measure.
+//!
+//! All entry points return typed [`EvalError`]s: a level-0 ciphertext
+//! cannot be rescaled ([`EvalError::LevelExhausted`]) and adjusts only move
+//! down ([`EvalError::AdjustUpward`]).
 
 use crate::chain::ModulusChain;
 use crate::ciphertext::Ciphertext;
+use crate::error::EvalError;
 use crate::params::Representation;
 use bp_math::FactoredScale;
 use bp_rns::rescale::{rns_rescale_once, scale_down, scale_up};
@@ -27,25 +32,39 @@ use bp_rns::PrimePool;
 /// chain's representation. The scale drops by `∏ shed / ∏ added` — after a
 /// multiplication this resets `S²` back to ≈ the target scale.
 ///
-/// # Panics
-/// Panics if the ciphertext is at level 0.
-pub fn rescale(ct: &mut Ciphertext, chain: &ModulusChain, pool: &PrimePool) {
+/// # Errors
+/// [`EvalError::LevelExhausted`] if the ciphertext is at level 0.
+pub fn rescale(
+    ct: &mut Ciphertext,
+    chain: &ModulusChain,
+    pool: &PrimePool,
+) -> Result<(), EvalError> {
+    let scale_before = ct.scale.log2();
     match chain.representation() {
-        Representation::RnsCkks => rns_rescale_ct(ct, chain),
-        Representation::BitPacker => bp_rescale_ct(ct, chain, pool),
+        Representation::RnsCkks => rns_rescale_ct(ct, chain)?,
+        Representation::BitPacker => bp_rescale_ct(ct, chain, pool)?,
     }
-    canonicalize(ct, chain);
+    canonicalize(ct, chain)?;
+    let shed_bits = scale_before - ct.scale.log2();
+    ct.noise = ct.noise.rescale(shed_bits, ct.c0.n());
+    Ok(())
 }
 
 /// Adjusts a ciphertext from level `L` to `L−1` **without** halving its
 /// scale exponent: the result has the same modulus *and the same scale* as
 /// a rescaled product at `L−1`, so the two can be added (paper Sec. 2.2).
 ///
-/// # Panics
-/// Panics if the ciphertext is at level 0.
-pub fn adjust_one(ct: &mut Ciphertext, chain: &ModulusChain, pool: &PrimePool) {
+/// # Errors
+/// [`EvalError::LevelExhausted`] if the ciphertext is at level 0.
+pub fn adjust_one(
+    ct: &mut Ciphertext,
+    chain: &ModulusChain,
+    pool: &PrimePool,
+) -> Result<(), EvalError> {
     let l = ct.level;
-    assert!(l > 0, "cannot adjust below level 0");
+    if l == 0 {
+        return Err(EvalError::LevelExhausted { op: "adjust" });
+    }
     // K = (Q_L / Q_{L-1}) * (S_{L-1} / S_L); in RNS-CKKS Q_L/Q_{L-1} is just
     // the shed group, so this specializes to Listing 2's q_{L-1}*S_{L-1}/S_L.
     let mut k = FactoredScale::one();
@@ -62,11 +81,22 @@ pub fn adjust_one(ct: &mut Ciphertext, chain: &ModulusChain, pool: &PrimePool) {
     // Bookkeeping uses the exact rational; the integer rounding of K is the
     // (measured) approximation error.
     ct.scale = ct.scale.mul(&k);
+    let scale_before = ct.scale.log2();
+    let noise_before = ct.noise;
     match chain.representation() {
-        Representation::RnsCkks => rns_rescale_ct(ct, chain),
-        Representation::BitPacker => bp_rescale_ct(ct, chain, pool),
+        Representation::RnsCkks => rns_rescale_ct(ct, chain)?,
+        Representation::BitPacker => bp_rescale_ct(ct, chain, pool)?,
     }
-    canonicalize(ct, chain);
+    canonicalize(ct, chain)?;
+    // Net noise effect: multiply by K, then divide by the shed modulus.
+    let k_bits = k.log2();
+    let shed_bits = scale_before - ct.scale.log2();
+    ct.noise = crate::noise::NoiseEstimate {
+        noise_bits: noise_before.noise_bits + k_bits,
+        message_bits: noise_before.message_bits + k_bits,
+    }
+    .rescale(shed_bits, ct.c0.n());
+    Ok(())
 }
 
 /// Adjusts a ciphertext down to `target_level` by repeated single-level
@@ -78,17 +108,25 @@ pub fn adjust_one(ct: &mut Ciphertext, chain: &ModulusChain, pool: &PrimePool) {
 /// and scale) and is what we use here — the cost difference is captured by
 /// the accelerator model, not the functional library.
 ///
-/// # Panics
-/// Panics if `target_level` exceeds the ciphertext's level.
-pub fn adjust_to(ct: &mut Ciphertext, chain: &ModulusChain, pool: &PrimePool, target_level: usize) {
-    assert!(
-        target_level <= ct.level,
-        "cannot adjust upward ({} -> {target_level})",
-        ct.level
-    );
-    while ct.level > target_level {
-        adjust_one(ct, chain, pool);
+/// # Errors
+/// [`EvalError::AdjustUpward`] if `target_level` exceeds the ciphertext's
+/// level.
+pub fn adjust_to(
+    ct: &mut Ciphertext,
+    chain: &ModulusChain,
+    pool: &PrimePool,
+    target_level: usize,
+) -> Result<(), EvalError> {
+    if target_level > ct.level {
+        return Err(EvalError::AdjustUpward {
+            from: ct.level,
+            to: target_level,
+        });
     }
+    while ct.level > target_level {
+        adjust_one(ct, chain, pool)?;
+    }
+    Ok(())
 }
 
 /// The original (approximate) RNS-CKKS adjust — "mod-down" — which simply
@@ -99,53 +137,72 @@ pub fn adjust_to(ct: &mut Ciphertext, chain: &ModulusChain, pool: &PrimePool, ta
 ///
 /// Only meaningful for RNS-CKKS chains (BitPacker levels are not subsets).
 ///
-/// # Panics
-/// Panics if the chain is a BitPacker chain or the ciphertext is at level 0.
-pub fn mod_down_adjust(ct: &mut Ciphertext, chain: &ModulusChain) {
-    assert_eq!(
-        chain.representation(),
-        Representation::RnsCkks,
-        "mod-down requires nested (RNS-CKKS) levels"
-    );
+/// # Errors
+/// [`EvalError::Unsupported`] for BitPacker chains;
+/// [`EvalError::LevelExhausted`] at level 0.
+pub fn mod_down_adjust(ct: &mut Ciphertext, chain: &ModulusChain) -> Result<(), EvalError> {
+    if chain.representation() != Representation::RnsCkks {
+        return Err(EvalError::Unsupported(
+            "mod-down requires nested (RNS-CKKS) levels — BitPacker level bases \
+             are not subsets of each other"
+                .into(),
+        ));
+    }
     let l = ct.level;
-    assert!(l > 0);
+    if l == 0 {
+        return Err(EvalError::LevelExhausted { op: "mod-down" });
+    }
     let shed = chain.shed_between(l);
-    let _ = ct.c0.extract_residues(&shed);
-    let _ = ct.c1.extract_residues(&shed);
+    let _ = ct.c0.extract_residues(&shed)?;
+    let _ = ct.c1.extract_residues(&shed)?;
     // The underlying values and the *claimed* scale are unchanged; the
     // mismatch against the true scale at L-1 is mod-down's error.
     ct.level = l - 1;
     ct.scale = chain.scale_at(l - 1).clone();
+    Ok(())
 }
 
-fn rns_rescale_ct(ct: &mut Ciphertext, chain: &ModulusChain) {
+fn rns_rescale_ct(ct: &mut Ciphertext, chain: &ModulusChain) -> Result<(), EvalError> {
     let l = ct.level;
-    assert!(l > 0, "cannot rescale below level 0");
+    if l == 0 {
+        return Err(EvalError::LevelExhausted { op: "rescale" });
+    }
     let shed = chain.shed_between(l);
     debug_assert!(chain.added_between(l).is_empty());
     // Listing 1 semantics: shed one residue at a time. The chain appends
     // level groups at the end, so the shed primes are the trailing residues.
     for &q in shed.iter().rev() {
         let last = *ct.c0.moduli().last().expect("nonempty");
-        assert_eq!(last, q, "chain order violated");
-        rns_rescale_once(&mut ct.c0);
-        rns_rescale_once(&mut ct.c1);
+        if last != q {
+            return Err(EvalError::Unsupported(format!(
+                "chain order violated: expected trailing modulus {q}, found {last}"
+            )));
+        }
+        rns_rescale_once(&mut ct.c0)?;
+        rns_rescale_once(&mut ct.c1)?;
         ct.scale = ct.scale.div_prime(q);
     }
     ct.level = l - 1;
+    Ok(())
 }
 
-fn bp_rescale_ct(ct: &mut Ciphertext, chain: &ModulusChain, pool: &PrimePool) {
+fn bp_rescale_ct(
+    ct: &mut Ciphertext,
+    chain: &ModulusChain,
+    pool: &PrimePool,
+) -> Result<(), EvalError> {
     let l = ct.level;
-    assert!(l > 0, "cannot rescale below level 0");
+    if l == 0 {
+        return Err(EvalError::LevelExhausted { op: "rescale" });
+    }
     let added = chain.added_between(l);
     let shed = chain.shed_between(l);
     let added_tables: Vec<_> = added.iter().map(|&q| pool.table(q)).collect();
     for poly in [&mut ct.c0, &mut ct.c1] {
         if !added_tables.is_empty() {
-            scale_up(poly, &added_tables);
+            scale_up(poly, &added_tables)?;
         }
-        scale_down(poly, &shed);
+        scale_down(poly, &shed)?;
     }
     for &q in &added {
         ct.scale = ct.scale.mul_prime(q);
@@ -154,16 +211,18 @@ fn bp_rescale_ct(ct: &mut Ciphertext, chain: &ModulusChain, pool: &PrimePool) {
         ct.scale = ct.scale.div_prime(q);
     }
     ct.level = l - 1;
+    Ok(())
 }
 
 /// Reorders residues to the chain's canonical order for the current level,
 /// so ciphertexts produced by different paths stay layout-compatible.
-fn canonicalize(ct: &mut Ciphertext, chain: &ModulusChain) {
+fn canonicalize(ct: &mut Ciphertext, chain: &ModulusChain) -> Result<(), EvalError> {
     let want = chain.moduli_at(ct.level);
     if ct.c0.moduli() != want {
-        ct.c0 = ct.c0.restricted(want);
-        ct.c1 = ct.c1.restricted(want);
+        ct.c0 = ct.c0.restricted(want)?;
+        ct.c1 = ct.c1.restricted(want)?;
     }
+    Ok(())
 }
 
 /// Reference "bootstrap": re-encrypts the ciphertext's current value at the
@@ -171,16 +230,20 @@ fn canonicalize(ct: &mut Ciphertext, chain: &ModulusChain) {
 /// so it is a *testing* facility: it restores the modulus (like a real
 /// bootstrap does, paper Fig. 3) without implementing the full
 /// homomorphic-mod pipeline.
+///
+/// # Errors
+/// [`EvalError::BudgetExhausted`] if the input's noise budget is already
+/// spent (re-encrypting garbage would only launder it).
 pub fn reference_bootstrap<R: rand::Rng + ?Sized>(
     ct: &Ciphertext,
     ctx: &crate::context::CkksContext,
     sk: &crate::keys::SecretKey,
     rng: &mut R,
-) -> Ciphertext {
-    let pt = ctx.decrypt(ct, sk);
+) -> Result<Ciphertext, EvalError> {
+    let pt = ctx.decrypt(ct, sk)?;
     let vals = ctx.decode(&pt);
     let fresh = ctx.encode(&vals, ctx.max_level());
-    ctx.encrypt_symmetric(&fresh, sk, rng)
+    Ok(ctx.encrypt_symmetric(&fresh, sk, rng))
 }
 
 // Tests for this module live in `tests/` at the crate root (they need the
@@ -190,6 +253,7 @@ pub use adjust_one as adjust;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::noise::NoiseEstimate;
     use crate::params::CkksParams;
     use crate::security::SecurityLevel;
     use bp_rns::{Domain, RnsPoly};
@@ -215,7 +279,9 @@ mod tests {
         let mut c1 = RnsPoly::from_i64_coeffs(pool, moduli, &[55, 66]);
         c0.to_ntt();
         c1.to_ntt();
-        Ciphertext::new(c0, c1, level, chain.scale_at(level).clone())
+        let scale = chain.scale_at(level).clone();
+        let noise = NoiseEstimate::fresh(1 << 4, scale.log2());
+        Ciphertext::new(c0, c1, level, scale, noise)
     }
 
     #[test]
@@ -226,7 +292,7 @@ mod tests {
             // Pretend the ct was just multiplied: square the scale so
             // rescale lands back on the chain scale.
             ct.scale = ct.scale.square();
-            rescale(&mut ct, &chain, &pool);
+            rescale(&mut ct, &chain, &pool).unwrap();
             assert_eq!(ct.level, chain.max_level() - 1);
             assert_eq!(ct.moduli(), chain.moduli_at(ct.level), "{repr:?}");
             let drift = (ct.scale.log2() - chain.scale_at(ct.level).log2()).abs();
@@ -239,7 +305,7 @@ mod tests {
         for repr in [Representation::RnsCkks, Representation::BitPacker] {
             let (chain, pool) = small_chain(repr);
             let mut ct = dummy_ct(&chain, &pool, chain.max_level());
-            adjust_one(&mut ct, &chain, &pool);
+            adjust_one(&mut ct, &chain, &pool).unwrap();
             assert_eq!(ct.level, chain.max_level() - 1);
             // Exact bookkeeping: adjusted scale equals the chain scale.
             assert_eq!(
@@ -256,7 +322,7 @@ mod tests {
     fn adjust_to_reaches_level_zero() {
         let (chain, pool) = small_chain(Representation::BitPacker);
         let mut ct = dummy_ct(&chain, &pool, chain.max_level());
-        adjust_to(&mut ct, &chain, &pool, 0);
+        adjust_to(&mut ct, &chain, &pool, 0).unwrap();
         assert_eq!(ct.level, 0);
         assert_eq!(ct.moduli(), chain.moduli_at(0));
     }
@@ -266,17 +332,45 @@ mod tests {
         let (chain, pool) = small_chain(Representation::RnsCkks);
         let mut ct = dummy_ct(&chain, &pool, chain.max_level());
         let before = ct.num_residues();
-        mod_down_adjust(&mut ct, &chain);
+        mod_down_adjust(&mut ct, &chain).unwrap();
         assert!(ct.num_residues() < before);
         assert_eq!(ct.level, chain.max_level() - 1);
     }
 
     #[test]
-    #[should_panic(expected = "nested")]
     fn mod_down_rejected_for_bitpacker() {
         let (chain, pool) = small_chain(Representation::BitPacker);
         let mut ct = dummy_ct(&chain, &pool, chain.max_level());
-        mod_down_adjust(&mut ct, &chain);
+        assert!(matches!(
+            mod_down_adjust(&mut ct, &chain),
+            Err(EvalError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn rescale_at_level_zero_is_an_error() {
+        for repr in [Representation::RnsCkks, Representation::BitPacker] {
+            let (chain, pool) = small_chain(repr);
+            let mut ct = dummy_ct(&chain, &pool, 0);
+            assert!(matches!(
+                rescale(&mut ct, &chain, &pool),
+                Err(EvalError::LevelExhausted { op: "rescale" })
+            ));
+            assert!(matches!(
+                adjust_one(&mut ct, &chain, &pool),
+                Err(EvalError::LevelExhausted { op: "adjust" })
+            ));
+        }
+    }
+
+    #[test]
+    fn adjust_upward_is_an_error() {
+        let (chain, pool) = small_chain(Representation::BitPacker);
+        let mut ct = dummy_ct(&chain, &pool, 1);
+        assert!(matches!(
+            adjust_to(&mut ct, &chain, &pool, chain.max_level()),
+            Err(EvalError::AdjustUpward { from: 1, .. })
+        ));
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! The two share everything except level management, exactly as the paper
 //! prescribes ("all other operations are exactly the same as in RNS-CKKS").
 //!
+//! The evaluation pipeline is panic-free: every fallible operation returns
+//! a typed [`EvalError`], misaligned operands can be auto-repaired with
+//! [`EvalPolicy::AutoAlign`], and [`Ciphertext::validate`] checks
+//! structural integrity of externally-supplied ciphertexts.
+//!
 //! # Quick start
 //!
 //! ```
@@ -34,18 +39,23 @@
 //! let values = vec![0.5, -0.25, 1.0];
 //! let pt = ctx.encode(&values, ctx.max_level());
 //! let ct = ctx.encrypt(&pt, &keys.public, &mut rng);
-//! let back = ctx.decode(&ctx.decrypt(&ct, &keys.secret));
+//! let back = ctx.decode(&ctx.decrypt(&ct, &keys.secret)?);
 //! assert!((back[0] - 0.5).abs() < 1e-4);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// The panic-free pipeline contract: library code may not unwrap. Known
+// invariants use expect() with a message naming the invariant; everything
+// else returns a typed error. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod chain;
 mod ciphertext;
 mod context;
 pub mod encoding;
+mod error;
 mod eval;
 mod keys;
 pub mod levels;
@@ -60,7 +70,8 @@ pub use chain::{ChainError, LevelInfo, ModulusChain};
 pub use ciphertext::Ciphertext;
 pub use context::{CkksContext, ContextError, KeySet};
 pub use encoding::{Encoder, Plaintext};
-pub use eval::Evaluator;
+pub use error::{EvalError, IntegrityError};
+pub use eval::{EvalPolicy, Evaluator, RepairLog};
 pub use keys::{EvaluationKey, KeySwitchKey, PublicKey, SecretKey};
 pub use params::{CkksParams, CkksParamsBuilder, ParamsError, Representation};
 pub use security::SecurityLevel;

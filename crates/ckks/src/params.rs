@@ -235,7 +235,9 @@ impl CkksParamsBuilder {
         }
         for (l, &t) in self.target_scale_bits.iter().enumerate() {
             if !(20..=120).contains(&t) {
-                return err(format!("target scale {t} bits at level {l} outside 20..=120"));
+                return err(format!(
+                    "target scale {t} bits at level {l} outside 20..=120"
+                ));
             }
         }
         if self.base_modulus_bits < self.log_n + 3 {

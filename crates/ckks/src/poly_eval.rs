@@ -16,6 +16,7 @@
 
 use crate::ciphertext::Ciphertext;
 use crate::context::CkksContext;
+use crate::error::EvalError;
 use crate::keys::EvaluationKey;
 
 /// Evaluates `Σ coeffs[i] · x^i` on an encrypted `x` with Horner's rule.
@@ -23,47 +24,51 @@ use crate::keys::EvaluationKey;
 /// Consumes `deg` multiplicative levels (one per multiply-accumulate), so
 /// it is best for small degrees; use [`eval_bsgs`] for anything deeper.
 ///
-/// # Panics
-/// Panics if `coeffs` is empty or the ciphertext lacks the required
+/// # Errors
+/// [`EvalError::Unsupported`] for an empty coefficient list;
+/// [`EvalError::LevelExhausted`] if the ciphertext lacks the required
 /// levels.
 pub fn eval_power_basis(
     ctx: &CkksContext,
     ek: &EvaluationKey,
     x: &Ciphertext,
     coeffs: &[f64],
-) -> Ciphertext {
-    assert!(!coeffs.is_empty(), "need at least one coefficient");
+) -> Result<Ciphertext, EvalError> {
+    if coeffs.is_empty() {
+        return Err(EvalError::Unsupported(
+            "polynomial evaluation needs at least one coefficient".into(),
+        ));
+    }
     let ev = ctx.evaluator();
     let slots = ctx.params().slots();
     let deg = coeffs.len() - 1;
-    assert!(
-        x.level() >= deg,
-        "degree {deg} needs {deg} levels, ciphertext has {}",
-        x.level()
-    );
+    if deg == 0 {
+        return Err(EvalError::Unsupported(
+            "degree-0 polynomial: the result is unencrypted — encode the constant \
+             directly instead"
+                .into(),
+        ));
+    }
+    if x.level() < deg {
+        return Err(EvalError::LevelExhausted {
+            op: "eval_power_basis",
+        });
+    }
     // Horner: acc = c_deg; acc = acc*x + c_{i}.
     let encode_const = |v: f64, level: usize| {
-        ctx.encode_at_scale(
-            &vec![v; slots],
-            level,
-            ctx.chain().scale_at(level).clone(),
-        )
+        ctx.encode_at_scale(&vec![v; slots], level, ctx.chain().scale_at(level).clone())
     };
     // Start from c_deg * x + c_{deg-1} to keep acc encrypted.
     let c_top = encode_const(coeffs[deg], x.level());
-    let mut acc = ev.rescale(&ev.mul_plain(x, &c_top));
-    let mut x_cur = ev.adjust_to(x, acc.level());
-    acc = ev.add_plain(&acc, &encode_const(coeffs[deg - 1], acc.level()));
+    let mut acc = ev.rescale(&ev.mul_plain(x, &c_top)?)?;
+    let mut x_cur = ev.adjust_to(x, acc.level())?;
+    acc = ev.add_plain(&acc, &encode_const(coeffs[deg - 1], acc.level()))?;
     for i in (0..deg - 1).rev() {
-        acc = ev.rescale(&ev.mul(&acc, &x_cur, ek));
-        if acc.level() > 0 && i > 0 {
-            x_cur = ev.adjust_to(&x_cur, acc.level());
-        } else {
-            x_cur = ev.adjust_to(&x_cur, acc.level());
-        }
-        acc = ev.add_plain(&acc, &encode_const(coeffs[i], acc.level()));
+        acc = ev.rescale(&ev.mul(&acc, &x_cur, ek)?)?;
+        x_cur = ev.adjust_to(&x_cur, acc.level())?;
+        acc = ev.add_plain(&acc, &encode_const(coeffs[i], acc.level()))?;
     }
-    acc
+    Ok(acc)
 }
 
 /// Evaluates a polynomial with the baby-step/giant-step split:
@@ -73,15 +78,20 @@ pub fn eval_power_basis(
 /// This is the evaluation structure bootstrapping's EvalMod and deep
 /// activations use on accelerators (paper Sec. 5 benchmarks).
 ///
-/// # Panics
-/// Panics if `coeffs` is empty or levels are insufficient.
+/// # Errors
+/// [`EvalError::Unsupported`] for an empty coefficient list;
+/// [`EvalError::LevelExhausted`] if levels are insufficient.
 pub fn eval_bsgs(
     ctx: &CkksContext,
     ek: &EvaluationKey,
     x: &Ciphertext,
     coeffs: &[f64],
-) -> Ciphertext {
-    assert!(!coeffs.is_empty(), "need at least one coefficient");
+) -> Result<Ciphertext, EvalError> {
+    if coeffs.is_empty() {
+        return Err(EvalError::Unsupported(
+            "polynomial evaluation needs at least one coefficient".into(),
+        ));
+    }
     let deg = coeffs.len() - 1;
     if deg <= 3 {
         return eval_power_basis(ctx, ek, x, coeffs);
@@ -99,33 +109,36 @@ pub fn eval_bsgs(
         let a = powers[half].clone().expect("filled in order");
         let b = powers[other].clone().expect("filled in order");
         let lvl = a.level().min(b.level());
-        let prod = ev.mul(&ev.adjust_to(&a, lvl), &ev.adjust_to(&b, lvl), ek);
-        powers[i] = Some(ev.rescale(&prod));
+        let prod = ev.mul(&ev.adjust_to(&a, lvl)?, &ev.adjust_to(&b, lvl)?, ek)?;
+        powers[i] = Some(ev.rescale(&prod)?);
     }
     let giant = powers[m].clone().expect("x^m");
 
     // Giant steps: Horner over chunks of m coefficients.
     let n_chunks = deg / m + 1;
-    let chunk_poly = |j: usize, level: usize, base: &Ciphertext| -> Ciphertext {
+    let chunk_poly = |j: usize, level: usize, base: &Ciphertext| -> Result<Ciphertext, EvalError> {
         // q_j(x) = Σ_{i=0}^{m-1} coeffs[j*m + i] x^i, evaluated from the
         // precomputed baby powers at `level`.
         let mut acc: Option<Ciphertext> = None;
+        #[allow(clippy::needless_range_loop)]
         for i in 1..m {
-            let Some(c) = coeffs.get(j * m + i) else { break };
+            let Some(c) = coeffs.get(j * m + i) else {
+                break;
+            };
             if c.abs() < 1e-30 {
                 continue;
             }
             let p = powers[i].clone().expect("baby power");
-            let p = ev.adjust_to(&p, level);
+            let p = ev.adjust_to(&p, level)?;
             let cpt = ctx.encode_at_scale(
                 &vec![*c; ctx.params().slots()],
                 level,
                 ctx.chain().scale_at(level).clone(),
             );
-            let term = ev.rescale(&ev.mul_plain(&p, &cpt));
+            let term = ev.rescale(&ev.mul_plain(&p, &cpt)?)?;
             acc = Some(match acc {
                 None => term,
-                Some(a) => ev.add(&a, &term),
+                Some(a) => ev.add(&a, &term)?,
             });
         }
         let c0 = coeffs.get(j * m).copied().unwrap_or(0.0);
@@ -141,8 +154,8 @@ pub fn eval_bsgs(
             None => {
                 // Constant chunk: encode at the base's level/scale, then
                 // add to a zeroed ciphertext derived from `base`.
-                let zero = ev.sub(base, base);
-                let z = ev.adjust_to(&zero, level.saturating_sub(1));
+                let zero = ev.sub(base, base)?;
+                let z = ev.adjust_to(&zero, level.saturating_sub(1))?;
                 let cpt = ctx.encode_at_scale(
                     &vec![c0; ctx.params().slots()],
                     z.level(),
@@ -155,15 +168,15 @@ pub fn eval_bsgs(
 
     // Horner over giant steps: acc = q_{last}; acc = acc * x^m + q_j.
     let work_level = giant.level();
-    let mut acc = chunk_poly(n_chunks - 1, work_level, x);
+    let mut acc = chunk_poly(n_chunks - 1, work_level, x)?;
     for j in (0..n_chunks - 1).rev() {
-        let g = ev.adjust_to(&giant, acc.level());
-        acc = ev.rescale(&ev.mul(&acc, &g, ek));
-        let q = chunk_poly(j, acc.level() + 1, x);
-        let q = ev.adjust_to(&q, acc.level());
-        acc = ev.add(&acc, &q);
+        let g = ev.adjust_to(&giant, acc.level())?;
+        acc = ev.rescale(&ev.mul(&acc, &g, ek)?)?;
+        let q = chunk_poly(j, acc.level() + 1, x)?;
+        let q = ev.adjust_to(&q, acc.level())?;
+        acc = ev.add(&acc, &q)?;
     }
-    acc
+    Ok(acc)
 }
 
 /// Chebyshev interpolation: coefficients of the degree-`deg` polynomial
@@ -195,6 +208,7 @@ pub fn chebyshev_coeffs(f: impl Fn(f64) -> f64, deg: usize) -> Vec<f64> {
     if n > 1 {
         out[1] += c[1];
     }
+    #[allow(clippy::needless_range_loop)]
     for j in 2..n {
         let mut t_next = vec![0.0; j + 1];
         for (i, &v) in t_cur.iter().enumerate() {
@@ -264,8 +278,8 @@ mod tests {
         let xs = [0.3f64, -0.5, 0.8, -0.1];
         let ct = ctx.encrypt(&ctx.encode(&xs, ctx.max_level()), &keys.public, &mut rng);
         let coeffs = [0.25, -1.0, 0.5, 2.0]; // 0.25 - x + 0.5x^2 + 2x^3
-        let out = eval_power_basis(&ctx, &keys.evaluation, &ct, &coeffs);
-        let got = ctx.decrypt_to_values(&out, &keys.secret, 4);
+        let out = eval_power_basis(&ctx, &keys.evaluation, &ct, &coeffs).unwrap();
+        let got = ctx.decrypt_to_values(&out, &keys.secret, 4).unwrap();
         for (g, &x) in got.iter().zip(&xs) {
             let want = 0.25 - x + 0.5 * x * x + 2.0 * x * x * x;
             assert!((g - want).abs() < 5e-3, "x={x}: {g} vs {want}");
@@ -280,8 +294,8 @@ mod tests {
         let xs = [0.4f64, -0.6, 0.9];
         let ct = ctx.encrypt(&ctx.encode(&xs, ctx.max_level()), &keys.public, &mut rng);
         let coeffs: Vec<f64> = vec![0.1, -0.3, 0.05, 0.2, -0.15, 0.08, 0.02, -0.01];
-        let out = eval_bsgs(&ctx, &keys.evaluation, &ct, &coeffs);
-        let got = ctx.decrypt_to_values(&out, &keys.secret, 3);
+        let out = eval_bsgs(&ctx, &keys.evaluation, &ct, &coeffs).unwrap();
+        let got = ctx.decrypt_to_values(&out, &keys.secret, 3).unwrap();
         for (g, &x) in got.iter().zip(&xs) {
             let want: f64 = coeffs
                 .iter()
@@ -305,8 +319,8 @@ mod tests {
         let coeffs = chebyshev_coeffs(sigmoid, 5);
         let xs = [0.0f64, 0.5, -0.5, 0.9];
         let ct = ctx.encrypt(&ctx.encode(&xs, ctx.max_level()), &keys.public, &mut rng);
-        let out = eval_bsgs(&ctx, &keys.evaluation, &ct, &coeffs);
-        let got = ctx.decrypt_to_values(&out, &keys.secret, 4);
+        let out = eval_bsgs(&ctx, &keys.evaluation, &ct, &coeffs).unwrap();
+        let got = ctx.decrypt_to_values(&out, &keys.secret, 4).unwrap();
         for (g, &x) in got.iter().zip(&xs) {
             assert!(
                 (g - sigmoid(x)).abs() < 0.05,

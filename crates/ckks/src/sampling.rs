@@ -87,7 +87,11 @@ mod tests {
         let mean = samples.iter().sum::<i64>() as f64 / n as f64;
         let var = samples.iter().map(|&x| x as f64 * x as f64).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
-        assert!((var.sqrt() - NOISE_SIGMA).abs() < 0.1, "sigma {}", var.sqrt());
+        assert!(
+            (var.sqrt() - NOISE_SIGMA).abs() < 0.1,
+            "sigma {}",
+            var.sqrt()
+        );
         assert!(samples.iter().all(|&x| x.abs() <= 20));
     }
 
@@ -100,7 +104,10 @@ mod tests {
         let q = p.residue(0).modulus();
         let max = *p.residue(0).coeffs().iter().max().unwrap();
         let min = *p.residue(0).coeffs().iter().min().unwrap();
-        assert!(max > q / 2 && min < q / 4, "not spread: [{min}, {max}] of {q}");
+        assert!(
+            max > q / 2 && min < q / 4,
+            "not spread: [{min}, {max}] of {q}"
+        );
     }
 
     #[test]

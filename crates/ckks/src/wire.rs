@@ -7,28 +7,37 @@
 //! ```text
 //! magic "BPCT" | version u8 | domain u8 | level u32 | n u32
 //! | scale: pow2 i64, n_factors u32, (prime u64, exp i64)*
+//! | noise_bits f64 | message_bits f64
 //! | n_residues u32 | (modulus u64, coeffs u64*n)*   — for c0, then c1
 //! ```
 //!
-//! All integers little-endian. Deserialization validates the header and
-//! re-binds residues to the context's NTT tables, rejecting moduli that
-//! don't belong to the chain.
+//! All integers little-endian; floats are IEEE-754 little-endian bit
+//! patterns. Version 2 added the two noise-estimate fields so the
+//! noise-budget guard survives transport. Deserialization validates the
+//! header, re-binds residues to the context's NTT tables, rejects moduli
+//! that don't belong to the chain, and finishes with a full
+//! [`Ciphertext::validate`] integrity check.
 
 use crate::ciphertext::Ciphertext;
 use crate::context::CkksContext;
+use crate::error::IntegrityError;
+use crate::noise::NoiseEstimate;
 use bp_math::FactoredScale;
 use bp_rns::{Domain, RnsPoly};
 
 const MAGIC: &[u8; 4] = b"BPCT";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 /// Errors from [`read_ciphertext`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WireError {
     /// Bad magic, version, or structural field.
     Malformed(String),
     /// The payload references a modulus or level the context doesn't have.
     Incompatible(String),
+    /// The decoded ciphertext failed structural validation against the
+    /// context.
+    Integrity(IntegrityError),
 }
 
 impl std::fmt::Display for WireError {
@@ -36,11 +45,25 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Malformed(m) => write!(f, "malformed ciphertext bytes: {m}"),
             WireError::Incompatible(m) => write!(f, "incompatible ciphertext: {m}"),
+            WireError::Integrity(e) => write!(f, "ciphertext failed validation: {e}"),
         }
     }
 }
 
-impl std::error::Error for WireError {}
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Integrity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IntegrityError> for WireError {
+    fn from(e: IntegrityError) -> Self {
+        WireError::Integrity(e)
+    }
+}
 
 /// Serializes a ciphertext to bytes.
 pub fn write_ciphertext(ct: &Ciphertext) -> Vec<u8> {
@@ -54,6 +77,8 @@ pub fn write_ciphertext(ct: &Ciphertext) -> Vec<u8> {
     out.extend_from_slice(&(ct.level() as u32).to_le_bytes());
     out.extend_from_slice(&(ct.c0().n() as u32).to_le_bytes());
     write_scale(&mut out, ct.scale());
+    out.extend_from_slice(&ct.noise().noise_bits.to_le_bytes());
+    out.extend_from_slice(&ct.noise().message_bits.to_le_bytes());
     for poly in [ct.c0(), ct.c1()] {
         out.extend_from_slice(&(poly.num_residues() as u32).to_le_bytes());
         for r in poly.residues() {
@@ -94,13 +119,32 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| WireError::Malformed("truncated u32".into()))?;
+        Ok(u32::from_le_bytes(b))
     }
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| WireError::Malformed("truncated u64".into()))?;
+        Ok(u64::from_le_bytes(b))
     }
     fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| WireError::Malformed("truncated i64".into()))?;
+        Ok(i64::from_le_bytes(b))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| WireError::Malformed("truncated f64".into()))?;
+        Ok(f64::from_le_bytes(b))
     }
 }
 
@@ -109,7 +153,8 @@ impl<'a> Reader<'a> {
 /// # Errors
 /// [`WireError::Malformed`] for structural problems;
 /// [`WireError::Incompatible`] when the level, ring degree, or moduli do
-/// not match the context's chain.
+/// not match the context's chain; [`WireError::Integrity`] when the
+/// decoded ciphertext fails [`Ciphertext::validate`].
 pub fn read_ciphertext(ctx: &CkksContext, bytes: &[u8]) -> Result<Ciphertext, WireError> {
     let mut r = Reader { buf: bytes, pos: 0 };
     if r.take(4)? != MAGIC {
@@ -138,6 +183,11 @@ pub fn read_ciphertext(ctx: &CkksContext, bytes: &[u8]) -> Result<Ciphertext, Wi
             ctx.params().n()
         )));
     }
+    if n > (1 << 20) {
+        return Err(WireError::Malformed(format!(
+            "ring degree {n} exceeds the sanity cap"
+        )));
+    }
 
     // Scale.
     let pow2 = r.i64()?;
@@ -152,6 +202,11 @@ pub fn read_ciphertext(ctx: &CkksContext, bytes: &[u8]) -> Result<Ciphertext, Wi
         if p == 0 || p % 2 == 0 {
             return Err(WireError::Malformed(format!("bad scale factor {p}")));
         }
+        if e.unsigned_abs() > 4096 {
+            return Err(WireError::Malformed(format!(
+                "scale exponent {e} implausible"
+            )));
+        }
         for _ in 0..e.unsigned_abs() {
             scale = if e > 0 {
                 scale.mul_prime(p)
@@ -161,10 +216,21 @@ pub fn read_ciphertext(ctx: &CkksContext, bytes: &[u8]) -> Result<Ciphertext, Wi
         }
     }
 
+    let noise_bits = r.f64()?;
+    let message_bits = r.f64()?;
+    if !noise_bits.is_finite() || !message_bits.is_finite() {
+        return Err(WireError::Malformed("non-finite noise estimate".into()));
+    }
+
     let expected_moduli = ctx.chain().moduli_at(level);
     let mut polys = Vec::with_capacity(2);
     for _ in 0..2 {
         let n_res = r.u32()? as usize;
+        if n_res > 4096 {
+            return Err(WireError::Malformed(format!(
+                "residue count {n_res} exceeds the sanity cap"
+            )));
+        }
         if n_res != expected_moduli.len() {
             return Err(WireError::Incompatible(format!(
                 "residue count {n_res} vs chain {}",
@@ -195,9 +261,19 @@ pub fn read_ciphertext(ctx: &CkksContext, bytes: &[u8]) -> Result<Ciphertext, Wi
     if r.pos != bytes.len() {
         return Err(WireError::Malformed("trailing bytes".into()));
     }
-    let c1 = polys.pop().expect("two polys");
-    let c0 = polys.pop().expect("two polys");
-    Ok(Ciphertext::new(c0, c1, level, scale))
+    let c1 = polys
+        .pop()
+        .ok_or_else(|| WireError::Malformed("missing c1 polynomial".into()))?;
+    let c0 = polys
+        .pop()
+        .ok_or_else(|| WireError::Malformed("missing c0 polynomial".into()))?;
+    let noise = NoiseEstimate {
+        noise_bits,
+        message_bits,
+    };
+    let ct = Ciphertext::new(c0, c1, level, scale, noise);
+    ct.validate(ctx)?;
+    Ok(ct)
 }
 
 #[cfg(test)]
@@ -233,7 +309,7 @@ mod tests {
         assert_eq!(back.scale(), ct.scale());
         assert_eq!(back.moduli(), ct.moduli());
         // Decrypts to the same values.
-        let got = ctx.decrypt_to_values(&back, &keys.secret, 3);
+        let got = ctx.decrypt_to_values(&back, &keys.secret, 3).unwrap();
         for (g, v) in got.iter().zip(&x) {
             assert!((g - v).abs() < 1e-3);
         }
@@ -246,9 +322,11 @@ mod tests {
         let keys = ctx.keygen(&mut rng);
         let ev = ctx.evaluator();
         let ct = ctx.encrypt(&ctx.encode(&[0.5], ctx.max_level()), &keys.public, &mut rng);
-        let sq = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+        let sq = ev
+            .rescale(&ev.mul(&ct, &ct, &keys.evaluation).unwrap())
+            .unwrap();
         let back = read_ciphertext(&ctx, &write_ciphertext(&sq)).expect("roundtrip");
-        let got = ctx.decrypt_to_values(&back, &keys.secret, 1);
+        let got = ctx.decrypt_to_values(&back, &keys.secret, 1).unwrap();
         assert!((got[0] - 0.25).abs() < 1e-3);
     }
 

@@ -1,0 +1,204 @@
+//! Property tests for the auto-aligning evaluator: random sequences of
+//! homomorphic operations over operands at *mismatched* levels must never
+//! return an error under `EvalPolicy::AutoAlign`, and the decrypted
+//! result must track exact `f64` arithmetic within the Table 1-style
+//! precision tolerance — i.e. transparent repairs may not silently
+//! corrupt values.
+
+use bp_ckks::{Ciphertext, CkksContext, CkksParams, EvalPolicy, Representation, SecurityLevel};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+const LEVELS: usize = 4;
+const SLOTS_CHECKED: usize = 4;
+
+fn ctx(repr: Representation) -> CkksContext {
+    let params = CkksParams::builder()
+        .log_n(7)
+        .word_bits(28)
+        .representation(repr)
+        .security(SecurityLevel::Insecure)
+        .levels(LEVELS, 26)
+        .base_modulus_bits(30)
+        .dnum(2)
+        .build()
+        .expect("params");
+    CkksContext::new(&params).expect("context")
+}
+
+/// An op stream entry: which two live ciphertexts to combine and how.
+/// Indices are taken modulo the live list length, so any byte pattern is
+/// a valid program.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add,
+    Sub,
+    MulRescale,
+}
+
+fn arb_program() -> impl Strategy<Value = Vec<u8>> {
+    // Flat byte program; decoded in chunks of 3 as
+    // (op selector, left index seed, right index seed).
+    proptest::collection::vec(0u8..255, 3..18)
+}
+
+/// Tracked pair: ciphertext plus its exact plaintext reference.
+struct Tracked {
+    ct: Ciphertext,
+    vals: Vec<f64>,
+}
+
+fn run_program(repr: Representation, program: &[u8], seed: u64) -> Result<(), String> {
+    let ctx = ctx(repr);
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    let keys = ctx.keygen(&mut rng);
+    let ev = ctx.evaluator_with_policy(EvalPolicy::AutoAlign);
+
+    // Seed population at deliberately mixed levels: one fresh ciphertext
+    // at the top, one already adjusted down a level — so binary ops hit
+    // level mismatches immediately.
+    let xs = vec![0.50, -0.25, 0.30, -0.40];
+    let ys = vec![0.20, 0.60, -0.50, 0.10];
+    let cx = ctx.encrypt(&ctx.encode(&xs, ctx.max_level()), &keys.public, &mut rng);
+    let cy_top = ctx.encrypt(&ctx.encode(&ys, ctx.max_level()), &keys.public, &mut rng);
+    let cy = ev
+        .adjust_to(&cy_top, ctx.max_level() - 1)
+        .map_err(|e| format!("seed adjust: {e}"))?;
+    let mut live = vec![Tracked { ct: cx, vals: xs }, Tracked { ct: cy, vals: ys }];
+
+    for step in program.chunks_exact(3) {
+        let (op_sel, li, ri) = (step[0], step[1], step[2]);
+        let l = li as usize % live.len();
+        let r = ri as usize % live.len();
+        let op = match op_sel % 3 {
+            0 => Op::Add,
+            1 => Op::Sub,
+            _ => Op::MulRescale,
+        };
+        // Multiplication needs a level to rescale into; stop consuming
+        // depth rather than demand errors the policy can't repair
+        // (AutoAlign fixes alignment, not exhaustion).
+        let min_level = live[l].ct.level().min(live[r].ct.level());
+        if matches!(op, Op::MulRescale) && min_level == 0 {
+            continue;
+        }
+        let (ct, vals) = match op {
+            Op::Add => (
+                ev.add(&live[l].ct, &live[r].ct).map_err(|e| {
+                    format!(
+                        "add at levels {}/{}: {e}",
+                        live[l].ct.level(),
+                        live[r].ct.level()
+                    )
+                })?,
+                live[l]
+                    .vals
+                    .iter()
+                    .zip(&live[r].vals)
+                    .map(|(a, b)| a + b)
+                    .collect(),
+            ),
+            Op::Sub => (
+                ev.sub(&live[l].ct, &live[r].ct).map_err(|e| {
+                    format!(
+                        "sub at levels {}/{}: {e}",
+                        live[l].ct.level(),
+                        live[r].ct.level()
+                    )
+                })?,
+                live[l]
+                    .vals
+                    .iter()
+                    .zip(&live[r].vals)
+                    .map(|(a, b)| a - b)
+                    .collect(),
+            ),
+            Op::MulRescale => {
+                let prod = ev
+                    .mul(&live[l].ct, &live[r].ct, &keys.evaluation)
+                    .map_err(|e| {
+                        format!(
+                            "mul at levels {}/{}: {e}",
+                            live[l].ct.level(),
+                            live[r].ct.level()
+                        )
+                    })?;
+                let rescaled = ev.rescale(&prod).map_err(|e| format!("rescale: {e}"))?;
+                (
+                    rescaled,
+                    live[l]
+                        .vals
+                        .iter()
+                        .zip(&live[r].vals)
+                        .map(|(a, b)| a * b)
+                        .collect(),
+                )
+            }
+        };
+        // Magnitude guard: values stay in the regime where the fixed
+        // tolerance is meaningful (products of sums can grow).
+        let vals: Vec<f64> = vals;
+        if vals.iter().any(|v| v.abs() > 4.0) {
+            continue;
+        }
+        live.push(Tracked { ct, vals });
+    }
+
+    // Every live ciphertext must decrypt within tolerance.
+    for (i, t) in live.iter().enumerate() {
+        let got = ctx
+            .decrypt_to_values(&t.ct, &keys.secret, SLOTS_CHECKED)
+            .map_err(|e| format!("decrypt of result {i}: {e}"))?;
+        for (g, w) in got.iter().zip(&t.vals) {
+            if (g - w).abs() > 5e-2 {
+                return Err(format!("result {i}: got {g}, want {w}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn autoalign_never_errors_and_stays_precise_bitpacker(
+        program in arb_program(),
+        seed in 0u64..1000,
+    ) {
+        if let Err(e) = run_program(Representation::BitPacker, &program, seed) {
+            prop_assert!(false, "{e}");
+        }
+    }
+
+    #[test]
+    fn autoalign_never_errors_and_stays_precise_rns(
+        program in arb_program(),
+        seed in 0u64..1000,
+    ) {
+        if let Err(e) = run_program(Representation::RnsCkks, &program, seed) {
+            prop_assert!(false, "{e}");
+        }
+    }
+}
+
+#[test]
+fn autoalign_records_repairs() {
+    // Deterministic check that the repair log actually counts: adding a
+    // fresh top-level ciphertext to a rescaled product needs one adjust
+    // and one rescale.
+    let ctx = ctx(Representation::BitPacker);
+    let mut rng = ChaCha20Rng::seed_from_u64(99);
+    let keys = ctx.keygen(&mut rng);
+    let ev = ctx.evaluator_with_policy(EvalPolicy::AutoAlign);
+    let ct = ctx.encrypt(&ctx.encode(&[0.5], ctx.max_level()), &keys.public, &mut rng);
+    let prod = ev.mul(&ct, &ct, &keys.evaluation).unwrap(); // scale S², top level
+    let sum = ev.add(&prod, &ct).unwrap(); // needs repair
+    assert!(ev.repairs().total() > 0, "repairs should have been logged");
+    let got = ctx.decrypt_to_values(&sum, &keys.secret, 1).unwrap();
+    assert!((got[0] - (0.25 + 0.5)).abs() < 1e-2, "got {}", got[0]);
+
+    ev.repairs().reset();
+    assert_eq!(ev.repairs().total(), 0);
+}

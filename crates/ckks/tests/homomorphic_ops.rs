@@ -44,7 +44,7 @@ fn encrypt_decrypt_roundtrip() {
             .collect();
         let pt = ctx.encode(&vals, ctx.max_level());
         let ct = ctx.encrypt(&pt, &keys.public, &mut rng);
-        let back = ctx.decode(&ctx.decrypt(&ct, &keys.secret));
+        let back = ctx.decode(&ctx.decrypt(&ct, &keys.secret).unwrap());
         let err = max_err(&back, &vals);
         assert!(err < 1e-4, "{repr}: roundtrip error {err}");
     }
@@ -59,7 +59,7 @@ fn symmetric_encryption_matches_public() {
         let vals = vec![0.25, -0.75, 0.5];
         let pt = ctx.encode(&vals, ctx.max_level());
         let ct = ctx.encrypt_symmetric(&pt, &keys.secret, &mut rng);
-        let back = ctx.decrypt_to_values(&ct, &keys.secret, 3);
+        let back = ctx.decrypt_to_values(&ct, &keys.secret, 3).unwrap();
         assert!(max_err(&back, &vals) < 1e-4, "{repr}");
     }
 }
@@ -75,13 +75,13 @@ fn homomorphic_addition() {
         let b: Vec<f64> = (0..32).map(|i| -(i as f64) / 64.0 + 0.1).collect();
         let ca = ctx.encrypt(&ctx.encode(&a, ctx.max_level()), &keys.public, &mut rng);
         let cb = ctx.encrypt(&ctx.encode(&b, ctx.max_level()), &keys.public, &mut rng);
-        let sum = ev.add(&ca, &cb);
-        let back = ctx.decrypt_to_values(&sum, &keys.secret, 32);
+        let sum = ev.add(&ca, &cb).unwrap();
+        let back = ctx.decrypt_to_values(&sum, &keys.secret, 32).unwrap();
         let want: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         assert!(max_err(&back, &want) < 1e-4, "{repr}");
 
-        let diff = ev.sub(&ca, &cb);
-        let back = ctx.decrypt_to_values(&diff, &keys.secret, 32);
+        let diff = ev.sub(&ca, &cb).unwrap();
+        let back = ctx.decrypt_to_values(&diff, &keys.secret, 32).unwrap();
         let want: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
         assert!(max_err(&back, &want) < 1e-4, "{repr}");
     }
@@ -98,10 +98,10 @@ fn ciphertext_multiplication_with_rescale() {
         let b: Vec<f64> = (0..32).map(|i| 0.5 - i as f64 / 64.0).collect();
         let ca = ctx.encrypt(&ctx.encode(&a, ctx.max_level()), &keys.public, &mut rng);
         let cb = ctx.encrypt(&ctx.encode(&b, ctx.max_level()), &keys.public, &mut rng);
-        let prod = ev.mul(&ca, &cb, &keys.evaluation);
-        let rescaled = ev.rescale(&prod);
+        let prod = ev.mul(&ca, &cb, &keys.evaluation).unwrap();
+        let rescaled = ev.rescale(&prod).unwrap();
         assert_eq!(rescaled.level(), ctx.max_level() - 1);
-        let back = ctx.decrypt_to_values(&rescaled, &keys.secret, 32);
+        let back = ctx.decrypt_to_values(&rescaled, &keys.secret, 32).unwrap();
         let want: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
         let err = max_err(&back, &want);
         assert!(err < 1e-3, "{repr}: mult error {err}");
@@ -116,11 +116,13 @@ fn plaintext_multiplication() {
         let keys = ctx.keygen(&mut rng);
         let ev = ctx.evaluator();
         let a: Vec<f64> = (0..32).map(|i| (i as f64).cos() / 2.0).collect();
-        let w: Vec<f64> = (0..32).map(|i| ((i * 7 % 13) as f64 - 6.0) / 12.0).collect();
+        let w: Vec<f64> = (0..32)
+            .map(|i| ((i * 7 % 13) as f64 - 6.0) / 12.0)
+            .collect();
         let ca = ctx.encrypt(&ctx.encode(&a, ctx.max_level()), &keys.public, &mut rng);
         let pw = ctx.encode(&w, ctx.max_level());
-        let prod = ev.rescale(&ev.mul_plain(&ca, &pw));
-        let back = ctx.decrypt_to_values(&prod, &keys.secret, 32);
+        let prod = ev.rescale(&ev.mul_plain(&ca, &pw).unwrap()).unwrap();
+        let back = ctx.decrypt_to_values(&prod, &keys.secret, 32).unwrap();
         let want: Vec<f64> = a.iter().zip(&w).map(|(x, y)| x * y).collect();
         assert!(max_err(&back, &want) < 1e-3, "{repr}");
     }
@@ -138,8 +140,8 @@ fn rotation_shifts_slots() {
         let a: Vec<f64> = (0..slots).map(|i| i as f64 / slots as f64).collect();
         let ca = ctx.encrypt(&ctx.encode(&a, ctx.max_level()), &keys.public, &mut rng);
         for steps in [1i64, 5] {
-            let rot = ev.rotate(&ca, steps, &keys.evaluation);
-            let back = ctx.decrypt_to_values(&rot, &keys.secret, slots);
+            let rot = ev.rotate(&ca, steps, &keys.evaluation).unwrap();
+            let back = ctx.decrypt_to_values(&rot, &keys.secret, slots).unwrap();
             let want: Vec<f64> = (0..slots)
                 .map(|i| a[(i + steps as usize) % slots])
                 .collect();
@@ -160,11 +162,13 @@ fn adjust_aligns_levels_for_addition() {
         let ev = ctx.evaluator();
         let x: Vec<f64> = (0..32).map(|i| (i as f64 / 32.0) - 0.4).collect();
         let cx = ctx.encrypt(&ctx.encode(&x, ctx.max_level()), &keys.public, &mut rng);
-        let x2 = ev.rescale(&ev.mul(&cx, &cx, &keys.evaluation));
-        let x_adj = ev.adjust_to(&cx, x2.level());
+        let x2 = ev
+            .rescale(&ev.mul(&cx, &cx, &keys.evaluation).unwrap())
+            .unwrap();
+        let x_adj = ev.adjust_to(&cx, x2.level()).unwrap();
         assert_eq!(x_adj.scale(), x2.scale(), "{repr}: adjust must match scale");
-        let sum = ev.add(&x2, &x_adj);
-        let back = ctx.decrypt_to_values(&sum, &keys.secret, 32);
+        let sum = ev.add(&x2, &x_adj).unwrap();
+        let back = ctx.decrypt_to_values(&sum, &keys.secret, 32).unwrap();
         let want: Vec<f64> = x.iter().map(|v| v * v + v).collect();
         let err = max_err(&back, &want);
         assert!(err < 1e-3, "{repr}: x^2+x error {err}");
@@ -184,11 +188,13 @@ fn deep_multiplication_chain_consumes_all_levels() {
         let mut ct = ctx.encrypt(&ctx.encode(&x, ctx.max_level()), &keys.public, &mut rng);
         let mut want = x.clone();
         for _ in 0..levels {
-            ct = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+            ct = ev
+                .rescale(&ev.mul(&ct, &ct, &keys.evaluation).unwrap())
+                .unwrap();
             want.iter_mut().for_each(|v| *v = *v * *v);
         }
         assert_eq!(ct.level(), 0);
-        let back = ctx.decrypt_to_values(&ct, &keys.secret, 16);
+        let back = ctx.decrypt_to_values(&ct, &keys.secret, 16).unwrap();
         let err = max_err(&back, &want);
         assert!(err < 5e-3, "{repr}: depth-{levels} error {err}");
     }
@@ -226,8 +232,7 @@ fn bitpacker_uses_fewer_residues_than_rns_ckks() {
     // see chain::tests::paper_parameters_at_n_2_16.)
     let top = 6;
     assert!(
-        (bp.chain().residue_count_at(top) as f64)
-            <= 0.85 * rc.chain().residue_count_at(top) as f64,
+        (bp.chain().residue_count_at(top) as f64) <= 0.85 * rc.chain().residue_count_at(top) as f64,
         "BP {} vs RC {}",
         bp.chain().residue_count_at(top),
         rc.chain().residue_count_at(top)
@@ -255,10 +260,12 @@ fn mixed_scale_schedule_works_end_to_end() {
         let mut ct = ctx.encrypt(&ctx.encode(&x, ctx.max_level()), &keys.public, &mut rng);
         let mut want = x.clone();
         for _ in 0..2 {
-            ct = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+            ct = ev
+                .rescale(&ev.mul(&ct, &ct, &keys.evaluation).unwrap())
+                .unwrap();
             want.iter_mut().for_each(|v| *v = *v * *v);
         }
-        let back = ctx.decrypt_to_values(&ct, &keys.secret, 3);
+        let back = ctx.decrypt_to_values(&ct, &keys.secret, 3).unwrap();
         assert!(max_err(&back, &want) < 1e-2, "{repr}");
     }
 }
@@ -273,13 +280,15 @@ fn reference_bootstrap_restores_levels() {
         let x = vec![0.5, 0.25];
         let mut ct = ctx.encrypt(&ctx.encode(&x, ctx.max_level()), &keys.public, &mut rng);
         while ct.level() > 0 {
-            ct = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+            ct = ev
+                .rescale(&ev.mul(&ct, &ct, &keys.evaluation).unwrap())
+                .unwrap();
         }
-        let boot = bp_ckks::levels::reference_bootstrap(&ct, &ctx, &keys.secret, &mut rng);
+        let boot = bp_ckks::levels::reference_bootstrap(&ct, &ctx, &keys.secret, &mut rng).unwrap();
         assert_eq!(boot.level(), ctx.max_level());
         // Value is preserved: x^(2^3).
         let want: Vec<f64> = x.iter().map(|v| v.powi(8)).collect();
-        let back = ctx.decrypt_to_values(&boot, &keys.secret, 2);
+        let back = ctx.decrypt_to_values(&boot, &keys.secret, 2).unwrap();
         assert!(max_err(&back, &want) < 1e-2, "{repr}");
     }
 }
@@ -293,13 +302,13 @@ fn negation_and_sub_plain() {
         let ev = ctx.evaluator();
         let x = vec![0.5, -0.75];
         let ct = ctx.encrypt(&ctx.encode(&x, ctx.max_level()), &keys.public, &mut rng);
-        let neg = ev.negate(&ct);
-        let back = ctx.decrypt_to_values(&neg, &keys.secret, 2);
+        let neg = ev.negate(&ct).unwrap();
+        let back = ctx.decrypt_to_values(&neg, &keys.secret, 2).unwrap();
         assert!(max_err(&back, &[-0.5, 0.75]) < 1e-4, "{repr}");
 
         let pt = ctx.encode(&[0.1, 0.2], ctx.max_level());
-        let diff = ev.sub_plain(&ct, &pt);
-        let back = ctx.decrypt_to_values(&diff, &keys.secret, 2);
+        let diff = ev.sub_plain(&ct, &pt).unwrap();
+        let back = ctx.decrypt_to_values(&diff, &keys.secret, 2).unwrap();
         assert!(max_err(&back, &[0.4, -0.95]) < 1e-4, "{repr}");
     }
 }
@@ -315,8 +324,8 @@ fn conjugation_preserves_real_values() {
         let ev = ctx.evaluator();
         let x: Vec<f64> = (0..8).map(|i| 0.1 * i as f64 - 0.4).collect();
         let ct = ctx.encrypt(&ctx.encode(&x, ctx.max_level()), &keys.public, &mut rng);
-        let conj = ev.conjugate(&ct, &keys.evaluation);
-        let back = ctx.decrypt_to_values(&conj, &keys.secret, 8);
+        let conj = ev.conjugate(&ct, &keys.evaluation).unwrap();
+        let back = ctx.decrypt_to_values(&conj, &keys.secret, 8).unwrap();
         let err = max_err(&back, &x);
         assert!(err < 1e-3, "{repr}: conjugation error {err}");
     }
@@ -333,8 +342,8 @@ fn polynomial_evaluation_via_public_api() {
     let coeffs = chebyshev_coeffs(act, 4);
     let xs = [0.2f64, -0.9, 0.55];
     let ct = ctx.encrypt(&ctx.encode(&xs, ctx.max_level()), &keys.public, &mut rng);
-    let out = eval_bsgs(&ctx, &keys.evaluation, &ct, &coeffs);
-    let got = ctx.decrypt_to_values(&out, &keys.secret, 3);
+    let out = eval_bsgs(&ctx, &keys.evaluation, &ct, &coeffs).unwrap();
+    let got = ctx.decrypt_to_values(&out, &keys.secret, 3).unwrap();
     for (g, &x) in got.iter().zip(&xs) {
         assert!((g - act(x)).abs() < 1e-2, "act({x}): {g}");
     }
@@ -352,7 +361,9 @@ fn noise_measurement_tracks_depth() {
     let mut want = x.clone();
     let fresh_bits = measure_noise_bits(&ctx, &keys.secret, &ct, &want);
     for _ in 0..2 {
-        ct = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+        ct = ev
+            .rescale(&ev.mul(&ct, &ct, &keys.evaluation).unwrap())
+            .unwrap();
         want.iter_mut().for_each(|v| *v = *v * *v);
     }
     let deep_bits = measure_noise_bits(&ctx, &keys.secret, &ct, &want);

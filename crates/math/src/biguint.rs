@@ -156,7 +156,11 @@ impl BigUint {
             n => {
                 let hi = self.limbs[n - 1] as f64;
                 let mid = self.limbs[n - 2] as f64;
-                let lo = if n >= 3 { self.limbs[n - 3] as f64 } else { 0.0 };
+                let lo = if n >= 3 {
+                    self.limbs[n - 3] as f64
+                } else {
+                    0.0
+                };
                 let mant = hi + mid / 2f64.powi(64) + lo / 2f64.powi(128);
                 mant.log2() + 64.0 * (n as f64 - 1.0)
             }
@@ -172,7 +176,11 @@ impl BigUint {
             n => {
                 let hi = self.limbs[n - 1] as f64;
                 let mid = self.limbs[n - 2] as f64;
-                let lo = if n >= 3 { self.limbs[n - 3] as f64 } else { 0.0 };
+                let lo = if n >= 3 {
+                    self.limbs[n - 3] as f64
+                } else {
+                    0.0
+                };
                 let mant = hi + mid / 2f64.powi(64) + lo / 2f64.powi(128);
                 mant * 2f64.powi(64 * (n as i32 - 1))
             }

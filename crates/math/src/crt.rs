@@ -23,7 +23,11 @@ use crate::{BigUint, Modulus};
 /// assert_eq!(x, BigUint::from(23u64)); // 100 mod 77 = 23
 /// ```
 pub fn crt_reconstruct(residues: &[u64], moduli: &[u64]) -> BigUint {
-    assert_eq!(residues.len(), moduli.len(), "residue/modulus count mismatch");
+    assert_eq!(
+        residues.len(),
+        moduli.len(),
+        "residue/modulus count mismatch"
+    );
     let q = BigUint::product_of(moduli);
     let mut acc = BigUint::zero();
     for (&r, &qi) in residues.iter().zip(moduli) {
@@ -32,9 +36,7 @@ pub fn crt_reconstruct(residues: &[u64], moduli: &[u64]) -> BigUint {
         assert_eq!(rem, 0, "modulus product must be divisible by each modulus");
         let m = Modulus::new(qi);
         let q_hat_mod = q_hat.rem_u64(qi);
-        let inv = m
-            .inv(q_hat_mod)
-            .expect("moduli must be pairwise coprime");
+        let inv = m.inv(q_hat_mod).expect("moduli must be pairwise coprime");
         let coef = m.mul(r, inv);
         acc = acc.add(&q_hat.mul_u64(coef));
     }

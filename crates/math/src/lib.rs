@@ -31,8 +31,8 @@
 #![forbid(unsafe_code)]
 
 mod biguint;
-mod modulus;
 pub mod crt;
+mod modulus;
 pub mod primes;
 mod scale;
 

@@ -107,10 +107,7 @@ impl Modulus {
         let (_, c2) = tmp1.overflowing_add(tmp2b as u64);
         let carry2 = ((tmp2b >> 64) as u64).wrapping_add(c2 as u64);
 
-        let quot = xhi
-            .wrapping_mul(r1)
-            .wrapping_add(tmp3)
-            .wrapping_add(carry2);
+        let quot = xhi.wrapping_mul(r1).wrapping_add(tmp3).wrapping_add(carry2);
 
         // The quotient estimate is low by at most 2 (Barrett truncation plus
         // the off-by-one ratio for power-of-two moduli), so at most two

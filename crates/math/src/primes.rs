@@ -29,7 +29,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -95,7 +95,11 @@ pub fn pow_mod_u64(mut base: u64, mut exp: u64, m: u64) -> u64 {
 pub fn ntt_primes_below(bits: u32, two_n: u64) -> impl Iterator<Item = u64> {
     assert!(two_n.is_power_of_two(), "two_n must be a power of two");
     assert!(bits <= 64, "bits must be <= 64");
-    let limit = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let limit = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     // Largest candidate of the form k * two_n + 1 not exceeding `limit`.
     let mut k = limit.saturating_sub(1) / two_n;
     std::iter::from_fn(move || {
@@ -116,13 +120,11 @@ pub fn ntt_primes_below(bits: u32, two_n: u64) -> impl Iterator<Item = u64> {
 pub fn ntt_primes_ascending(two_n: u64) -> impl Iterator<Item = u64> {
     assert!(two_n.is_power_of_two(), "two_n must be a power of two");
     let mut k = 1u64;
-    std::iter::from_fn(move || {
-        loop {
-            let cand = k.checked_mul(two_n)?.checked_add(1)?;
-            k += 1;
-            if is_prime(cand) {
-                return Some(cand);
-            }
+    std::iter::from_fn(move || loop {
+        let cand = k.checked_mul(two_n)?.checked_add(1)?;
+        k += 1;
+        if is_prime(cand) {
+            return Some(cand);
         }
     })
 }

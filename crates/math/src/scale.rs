@@ -196,7 +196,10 @@ impl FactoredScale {
     /// The raw representation: the power-of-two exponent and the
     /// `(prime, exponent)` factor list (used by serialization).
     pub fn parts(&self) -> (i64, Vec<(u64, i64)>) {
-        (self.pow2, self.factors.iter().map(|(&p, &e)| (p, e)).collect())
+        (
+            self.pow2,
+            self.factors.iter().map(|(&p, &e)| (p, e)).collect(),
+        )
     }
 }
 
@@ -264,7 +267,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "odd")]
     fn even_factor_panics() {
-        FactoredScale::one().mul_prime(10);
+        let _ = FactoredScale::one().mul_prime(10);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! dominate homomorphic-multiply cost, which is why BitPacker's reduction in
 //! residue count pays off superlinearly (paper Sec. 4.2).
 
-use crate::{Domain, NttTable, ResiduePoly};
+use crate::{Domain, NttTable, ResiduePoly, RnsError};
 use bp_math::BigUint;
 use std::sync::Arc;
 
@@ -39,17 +39,21 @@ pub struct BasisConverter {
 impl BasisConverter {
     /// Builds conversion tables from `src` to `dst`.
     ///
-    /// # Panics
-    /// Panics if `src` is empty or bases share a modulus (they must be
-    /// coprime).
-    pub fn new(src: &[Arc<NttTable>], dst: &[Arc<NttTable>]) -> Self {
-        assert!(!src.is_empty(), "source basis must be nonempty");
+    /// # Errors
+    /// [`RnsError::EmptyBasis`] if `src` is empty;
+    /// [`RnsError::DuplicateModulus`] if the bases share a modulus (they
+    /// must be coprime).
+    pub fn new(src: &[Arc<NttTable>], dst: &[Arc<NttTable>]) -> Result<Self, RnsError> {
+        if src.is_empty() {
+            return Err(RnsError::EmptyBasis);
+        }
         let src_moduli: Vec<u64> = src.iter().map(|t| t.modulus().value()).collect();
         for d in dst {
-            assert!(
-                !src_moduli.contains(&d.modulus().value()),
-                "source and destination bases must be disjoint"
-            );
+            if src_moduli.contains(&d.modulus().value()) {
+                return Err(RnsError::DuplicateModulus {
+                    modulus: d.modulus().value(),
+                });
+            }
         }
         let p = BigUint::product_of(&src_moduli);
         let mut inv_phat = Vec::with_capacity(src.len());
@@ -76,13 +80,13 @@ impl BasisConverter {
                 .collect();
             phat_mod_dst.push(row);
         }
-        Self {
+        Ok(Self {
             src_tables: src.to_vec(),
             dst_tables: dst.to_vec(),
             inv_phat,
             phat_mod_dst,
             p,
-        }
+        })
     }
 
     /// The source-basis product `P`.
@@ -93,13 +97,31 @@ impl BasisConverter {
     /// Converts source residues (coefficient domain) into the destination
     /// basis (coefficient domain).
     ///
-    /// # Panics
-    /// Panics if `src.len()` doesn't match the converter's source basis or
-    /// moduli disagree.
-    pub fn convert(&self, src: &[ResiduePoly]) -> Vec<ResiduePoly> {
-        assert_eq!(src.len(), self.src_tables.len(), "source residue count");
-        for (r, t) in src.iter().zip(&self.src_tables) {
-            assert_eq!(r.modulus(), t.modulus().value(), "source modulus mismatch");
+    /// # Errors
+    /// [`RnsError::LengthMismatch`] if `src.len()` doesn't match the
+    /// converter's source basis; [`RnsError::BasisMismatch`] if the residue
+    /// moduli disagree with the converter's.
+    pub fn convert(&self, src: &[ResiduePoly]) -> Result<Vec<ResiduePoly>, RnsError> {
+        if src.len() != self.src_tables.len() {
+            return Err(RnsError::LengthMismatch {
+                what: "source residue count",
+                expected: self.src_tables.len(),
+                found: src.len(),
+            });
+        }
+        if src
+            .iter()
+            .zip(&self.src_tables)
+            .any(|(r, t)| r.modulus() != t.modulus().value())
+        {
+            return Err(RnsError::BasisMismatch {
+                left: src.iter().map(|r| r.modulus()).collect(),
+                right: self
+                    .src_tables
+                    .iter()
+                    .map(|t| t.modulus().value())
+                    .collect(),
+            });
         }
         let n = self.src_tables[0].n();
 
@@ -109,11 +131,15 @@ impl BasisConverter {
             .zip(&self.inv_phat)
             .map(|(r, &(inv, inv_s))| {
                 let m = r.table().modulus();
-                r.coeffs().iter().map(|&x| m.mul_shoup(x, inv, inv_s)).collect()
+                r.coeffs()
+                    .iter()
+                    .map(|&x| m.mul_shoup(x, inv, inv_s))
+                    .collect()
             })
             .collect();
 
-        self.dst_tables
+        let out = self
+            .dst_tables
             .iter()
             .zip(&self.phat_mod_dst)
             .map(|(dt, row)| {
@@ -128,13 +154,22 @@ impl BasisConverter {
                 let _ = n;
                 out
             })
-            .collect()
+            .collect();
+        Ok(out)
     }
 
     /// Converts source residues that may be in NTT domain: they are brought
     /// to coefficient domain first, converted, and the outputs are returned
     /// in `target_domain`.
-    pub fn convert_from(&self, src: &[ResiduePoly], src_domain: Domain, target_domain: Domain) -> Vec<ResiduePoly> {
+    ///
+    /// # Errors
+    /// Propagates the same errors as [`BasisConverter::convert`].
+    pub fn convert_from(
+        &self,
+        src: &[ResiduePoly],
+        src_domain: Domain,
+        target_domain: Domain,
+    ) -> Result<Vec<ResiduePoly>, RnsError> {
         let coeff_src: Vec<ResiduePoly>;
         let src_ref: &[ResiduePoly] = if src_domain == Domain::Ntt {
             coeff_src = src
@@ -150,14 +185,14 @@ impl BasisConverter {
         } else {
             src
         };
-        let mut out = self.convert(src_ref);
+        let mut out = self.convert(src_ref)?;
         if target_domain == Domain::Ntt {
             for r in &mut out {
                 let t = Arc::clone(r.table());
                 t.forward(r.coeffs_mut());
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -174,14 +209,14 @@ mod tests {
         let dst_q = pool.first_primes_below(25, 2);
         let src_t: Vec<_> = src_q.iter().map(|&q| pool.table(q)).collect();
         let dst_t: Vec<_> = dst_q.iter().map(|&q| pool.table(q)).collect();
-        let conv = BasisConverter::new(&src_t, &dst_t);
+        let conv = BasisConverter::new(&src_t, &dst_t).unwrap();
 
         // Small positive value: conversion must be exact (alpha = 0 for
         // values much smaller than P... here x < p0 so representation is
         // x itself; alpha can still be nonzero, so compare mod small x).
         let x = 123456u64;
         let poly = RnsPoly::from_i64_coeffs(&pool, &src_q, &[x as i64]);
-        let out = conv.convert(poly.residues());
+        let out = conv.convert(poly.residues()).unwrap();
         let p_mod = conv.p();
         for r in &out {
             let q = r.modulus();
@@ -189,7 +224,9 @@ mod tests {
             // got = (x + alpha*P) mod q for some 0 <= alpha < 2
             let mut ok = false;
             for alpha in 0..3u64 {
-                let expect = (x as u128 + alpha as u128 * (p_mod.rem_u64(u64::MAX) as u128 % q as u128)) % q as u128;
+                let expect = (x as u128
+                    + alpha as u128 * (p_mod.rem_u64(u64::MAX) as u128 % q as u128))
+                    % q as u128;
                 // P may exceed u64; compute (x + alpha*P) mod q via BigUint.
                 let big = bp_math::BigUint::from(x).add(&p_mod.mul_u64(alpha));
                 let expect2 = big.rem_u64(q);
@@ -212,7 +249,7 @@ mod tests {
         let dst_q = pool.first_primes_below(20, 1);
         let src_t: Vec<_> = src_q.iter().map(|&q| pool.table(q)).collect();
         let dst_t: Vec<_> = dst_q.iter().map(|&q| pool.table(q)).collect();
-        let conv = BasisConverter::new(&src_t, &dst_t);
+        let conv = BasisConverter::new(&src_t, &dst_t).unwrap();
 
         // A "random" wide x < P via CRT of arbitrary residues.
         let residues: Vec<u64> = src_q.iter().map(|&q| q / 3 + 12345 % q).collect();
@@ -222,7 +259,7 @@ mod tests {
         for (i, r) in poly.residues_mut().iter_mut().enumerate() {
             r.coeffs_mut()[0] = residues[i];
         }
-        let out = conv.convert(poly.residues());
+        let out = conv.convert(poly.residues()).unwrap();
         let got = out[0].coeffs()[0];
         let q = dst_q[0];
         let k = src_q.len() as u64;
@@ -234,11 +271,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "disjoint")]
     fn overlapping_bases_rejected() {
         let pool = PrimePool::new(1 << 3);
         let qs = pool.first_primes_below(28, 2);
         let ts: Vec<_> = qs.iter().map(|&q| pool.table(q)).collect();
-        let _ = BasisConverter::new(&ts, &ts[..1].to_vec());
+        assert!(matches!(
+            BasisConverter::new(&ts, &ts[..1]),
+            Err(RnsError::DuplicateModulus { .. })
+        ));
+        assert!(matches!(
+            BasisConverter::new(&[], &ts),
+            Err(RnsError::EmptyBasis)
+        ));
+    }
+
+    #[test]
+    fn convert_length_and_modulus_checked() {
+        let pool = PrimePool::new(1 << 3);
+        let src_q = pool.first_primes_below(28, 2);
+        let dst_q = pool.first_primes_below(20, 1);
+        let src_t: Vec<_> = src_q.iter().map(|&q| pool.table(q)).collect();
+        let dst_t: Vec<_> = dst_q.iter().map(|&q| pool.table(q)).collect();
+        let conv = BasisConverter::new(&src_t, &dst_t).unwrap();
+        let short = RnsPoly::zero(&pool, &src_q[..1], Domain::Coeff);
+        assert!(matches!(
+            conv.convert(short.residues()),
+            Err(RnsError::LengthMismatch { .. })
+        ));
+        let wrong = RnsPoly::zero(&pool, &[src_q[1], src_q[0]], Domain::Coeff);
+        assert!(matches!(
+            conv.convert(wrong.residues()),
+            Err(RnsError::BasisMismatch { .. })
+        ));
     }
 }

@@ -1,0 +1,159 @@
+//! Typed errors for RNS polynomial operations.
+//!
+//! Every fallible operation in this crate reports a structured
+//! [`RnsError`] instead of panicking, so the CKKS layer (and anything
+//! deserializing attacker-controlled ciphertexts) can surface precise,
+//! actionable diagnostics. Each variant's `Display` names the mismatch and
+//! the fix.
+
+use crate::Domain;
+
+/// Errors from RNS polynomial and level-management kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RnsError {
+    /// Two operands live in rings of different degree `N`.
+    DegreeMismatch {
+        /// Degree of the left operand.
+        left: usize,
+        /// Degree of the right operand.
+        right: usize,
+    },
+    /// Two operands are in different representation domains.
+    DomainMismatch {
+        /// Domain of the left operand.
+        left: Domain,
+        /// Domain of the right operand.
+        right: Domain,
+    },
+    /// An operation requires a specific domain the operand is not in.
+    WrongDomain {
+        /// The operation attempted.
+        op: &'static str,
+        /// The domain the operand was in.
+        found: Domain,
+        /// The domain the operation requires.
+        required: Domain,
+    },
+    /// Residue bases differ (different moduli or different order).
+    BasisMismatch {
+        /// Moduli of the left operand.
+        left: Vec<u64>,
+        /// Moduli of the right operand.
+        right: Vec<u64>,
+    },
+    /// A requested modulus is not part of the polynomial's basis.
+    MissingModulus {
+        /// The absent modulus.
+        modulus: u64,
+    },
+    /// An operation would shed more residues than the polynomial has (or
+    /// leave it empty).
+    NotEnoughResidues {
+        /// The operation attempted.
+        op: &'static str,
+        /// Residues currently present.
+        have: usize,
+        /// Residues the operation needs to keep or remove.
+        need: usize,
+    },
+    /// A residue basis that must be nonempty was empty.
+    EmptyBasis,
+    /// A modulus appears where the operation requires it to be absent
+    /// (e.g. `scale_up` by a prime already in the basis).
+    DuplicateModulus {
+        /// The offending modulus.
+        modulus: u64,
+    },
+    /// A per-residue argument list has the wrong length.
+    LengthMismatch {
+        /// What was being counted.
+        what: &'static str,
+        /// Expected count.
+        expected: usize,
+        /// Actual count.
+        found: usize,
+    },
+    /// A Galois element was even (automorphisms of `Z[X]/(X^N+1)` need odd
+    /// exponents).
+    EvenGaloisElement {
+        /// The rejected exponent.
+        t: usize,
+    },
+    /// A coefficient is not reduced modulo its residue prime — the
+    /// polynomial has been corrupted or forged.
+    UnreducedCoefficient {
+        /// The residue's modulus.
+        modulus: u64,
+        /// Index of the offending coefficient.
+        index: usize,
+        /// The out-of-range value.
+        value: u64,
+    },
+}
+
+impl std::fmt::Display for RnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RnsError::DegreeMismatch { left, right } => write!(
+                f,
+                "ring degree mismatch: N = {left} vs {right} — operands must come \
+                 from the same PrimePool"
+            ),
+            RnsError::DomainMismatch { left, right } => write!(
+                f,
+                "domain mismatch: {left:?} vs {right:?} — convert one operand with \
+                 to_ntt()/to_coeff() first"
+            ),
+            RnsError::WrongDomain {
+                op,
+                found,
+                required,
+            } => write!(
+                f,
+                "{op} requires {required:?} domain but operand is in {found:?} — \
+                 convert with to_ntt()/to_coeff() first"
+            ),
+            RnsError::BasisMismatch { left, right } => write!(
+                f,
+                "residue basis mismatch: {} vs {} residues ({left:?} vs {right:?}) — \
+                 align levels before elementwise ops",
+                left.len(),
+                right.len()
+            ),
+            RnsError::MissingModulus { modulus } => {
+                write!(f, "modulus {modulus} not present in the polynomial's basis")
+            }
+            RnsError::NotEnoughResidues { op, have, need } => write!(
+                f,
+                "{op} needs {need} residues but the polynomial has {have} — \
+                 the ciphertext is already at the bottom of its chain"
+            ),
+            RnsError::EmptyBasis => write!(f, "residue basis must be nonempty"),
+            RnsError::DuplicateModulus { modulus } => write!(
+                f,
+                "modulus {modulus} already present — source and destination bases \
+                 must be disjoint"
+            ),
+            RnsError::LengthMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what}: expected {expected}, got {found}"),
+            RnsError::EvenGaloisElement { t } => write!(
+                f,
+                "Galois element {t} is even — automorphisms X -> X^t need odd t"
+            ),
+            RnsError::UnreducedCoefficient {
+                modulus,
+                index,
+                value,
+            } => write!(
+                f,
+                "coefficient {value} at index {index} is not reduced mod {modulus} — \
+                 the residue data is corrupted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RnsError {}

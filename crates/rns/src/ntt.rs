@@ -189,6 +189,7 @@ mod tests {
     }
 
     /// Schoolbook negacyclic multiplication, the test oracle.
+    #[allow(clippy::needless_range_loop)]
     fn negacyclic_mul_naive(a: &[u64], b: &[u64], m: &Modulus) -> Vec<u64> {
         let n = a.len();
         let mut out = vec![0u64; n];

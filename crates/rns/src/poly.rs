@@ -1,6 +1,6 @@
 //! RNS polynomials: vectors of residue polynomials mod word-sized primes.
 
-use crate::{NttTable, PrimePool};
+use crate::{NttTable, PrimePool, RnsError};
 use bp_math::BigUint;
 use std::sync::Arc;
 
@@ -88,7 +88,11 @@ impl RnsPoly {
     /// # Panics
     /// Panics if `coeffs.len() > N`.
     pub fn from_i64_coeffs(pool: &PrimePool, moduli: &[u64], coeffs: &[i64]) -> Self {
-        Self::from_i128_coeffs(pool, moduli, &coeffs.iter().map(|&c| c as i128).collect::<Vec<_>>())
+        Self::from_i128_coeffs(
+            pool,
+            moduli,
+            &coeffs.iter().map(|&c| c as i128).collect::<Vec<_>>(),
+        )
     }
 
     /// Builds a polynomial from wide signed coefficients (coefficient
@@ -179,60 +183,76 @@ impl RnsPoly {
         self.domain = Domain::Coeff;
     }
 
-    fn assert_compatible(&self, other: &Self) {
-        assert_eq!(self.n, other.n, "ring degree mismatch");
-        assert_eq!(self.domain, other.domain, "domain mismatch");
-        assert_eq!(
-            self.moduli(),
-            other.moduli(),
-            "residue basis mismatch (count {} vs {})",
-            self.num_residues(),
-            other.num_residues()
-        );
+    fn check_compatible(&self, other: &Self) -> Result<(), RnsError> {
+        if self.n != other.n {
+            return Err(RnsError::DegreeMismatch {
+                left: self.n,
+                right: other.n,
+            });
+        }
+        if self.domain != other.domain {
+            return Err(RnsError::DomainMismatch {
+                left: self.domain,
+                right: other.domain,
+            });
+        }
+        if self.moduli() != other.moduli() {
+            return Err(RnsError::BasisMismatch {
+                left: self.moduli(),
+                right: other.moduli(),
+            });
+        }
+        Ok(())
     }
 
     /// Elementwise sum. Works in either domain (both operands must match).
     ///
-    /// # Panics
-    /// Panics if the operands are not layout-compatible.
-    #[must_use]
-    pub fn add(&self, other: &Self) -> Self {
+    /// # Errors
+    /// [`RnsError`] if the operands are not layout-compatible.
+    pub fn add(&self, other: &Self) -> Result<Self, RnsError> {
         let mut out = self.clone();
-        out.add_assign(other);
-        out
+        out.add_assign(other)?;
+        Ok(out)
     }
 
     /// In-place elementwise sum.
-    pub fn add_assign(&mut self, other: &Self) {
-        self.assert_compatible(other);
+    ///
+    /// # Errors
+    /// [`RnsError`] if the operands are not layout-compatible.
+    pub fn add_assign(&mut self, other: &Self) -> Result<(), RnsError> {
+        self.check_compatible(other)?;
         for (a, b) in self.residues.iter_mut().zip(&other.residues) {
             let m = *a.table.modulus();
             for (x, &y) in a.coeffs.iter_mut().zip(&b.coeffs) {
                 *x = m.add(*x, y);
             }
         }
+        Ok(())
     }
 
     /// Elementwise difference.
     ///
-    /// # Panics
-    /// Panics if the operands are not layout-compatible.
-    #[must_use]
-    pub fn sub(&self, other: &Self) -> Self {
+    /// # Errors
+    /// [`RnsError`] if the operands are not layout-compatible.
+    pub fn sub(&self, other: &Self) -> Result<Self, RnsError> {
         let mut out = self.clone();
-        out.sub_assign(other);
-        out
+        out.sub_assign(other)?;
+        Ok(out)
     }
 
     /// In-place elementwise difference.
-    pub fn sub_assign(&mut self, other: &Self) {
-        self.assert_compatible(other);
+    ///
+    /// # Errors
+    /// [`RnsError`] if the operands are not layout-compatible.
+    pub fn sub_assign(&mut self, other: &Self) -> Result<(), RnsError> {
+        self.check_compatible(other)?;
         for (a, b) in self.residues.iter_mut().zip(&other.residues) {
             let m = *a.table.modulus();
             for (x, &y) in a.coeffs.iter_mut().zip(&b.coeffs) {
                 *x = m.sub(*x, y);
             }
         }
+        Ok(())
     }
 
     /// Negation.
@@ -250,36 +270,52 @@ impl RnsPoly {
 
     /// Polynomial product; both operands must be in NTT domain.
     ///
-    /// # Panics
-    /// Panics if either operand is in coefficient domain or layouts differ.
-    #[must_use]
-    pub fn mul(&self, other: &Self) -> Self {
-        assert_eq!(self.domain, Domain::Ntt, "mul requires NTT domain");
+    /// # Errors
+    /// [`RnsError::WrongDomain`] if either operand is in coefficient
+    /// domain; [`RnsError`] if layouts differ.
+    pub fn mul(&self, other: &Self) -> Result<Self, RnsError> {
         let mut out = self.clone();
-        out.mul_assign(other);
-        out
+        out.mul_assign(other)?;
+        Ok(out)
     }
 
     /// In-place polynomial product (NTT domain).
-    pub fn mul_assign(&mut self, other: &Self) {
-        assert_eq!(self.domain, Domain::Ntt, "mul requires NTT domain");
-        self.assert_compatible(other);
+    ///
+    /// # Errors
+    /// [`RnsError`] if either operand is in coefficient domain or layouts
+    /// differ.
+    pub fn mul_assign(&mut self, other: &Self) -> Result<(), RnsError> {
+        if self.domain != Domain::Ntt {
+            return Err(RnsError::WrongDomain {
+                op: "mul",
+                found: self.domain,
+                required: Domain::Ntt,
+            });
+        }
+        self.check_compatible(other)?;
         for (a, b) in self.residues.iter_mut().zip(&other.residues) {
             let m = *a.table.modulus();
             for (x, &y) in a.coeffs.iter_mut().zip(&b.coeffs) {
                 *x = m.mul(*x, y);
             }
         }
+        Ok(())
     }
 
     /// Multiplies residue `i` by the scalar `consts[i]` (already reduced mod
     /// `qᵢ`). Valid in either domain (scalar multiplication commutes with
     /// the NTT).
     ///
-    /// # Panics
-    /// Panics if `consts.len() != R`.
-    pub fn mul_scalar_per_residue(&mut self, consts: &[u64]) {
-        assert_eq!(consts.len(), self.residues.len(), "constant count mismatch");
+    /// # Errors
+    /// [`RnsError::LengthMismatch`] if `consts.len() != R`.
+    pub fn mul_scalar_per_residue(&mut self, consts: &[u64]) -> Result<(), RnsError> {
+        if consts.len() != self.residues.len() {
+            return Err(RnsError::LengthMismatch {
+                what: "per-residue constants",
+                expected: self.residues.len(),
+                found: consts.len(),
+            });
+        }
         for (r, &c) in self.residues.iter_mut().zip(consts) {
             let m = *r.table.modulus();
             let c = m.reduce(c);
@@ -288,34 +324,41 @@ impl RnsPoly {
                 *x = m.mul_shoup(*x, c, cs);
             }
         }
+        Ok(())
     }
 
     /// Multiplies every residue by a (wide) integer constant, reducing it per
     /// modulus first. This is `mulConst` in the paper's listings.
     pub fn mul_biguint(&mut self, k: &BigUint) {
         let consts: Vec<u64> = self.moduli().iter().map(|&q| k.rem_u64(q)).collect();
-        self.mul_scalar_per_residue(&consts);
+        self.mul_scalar_per_residue(&consts)
+            .expect("constant list built from own moduli");
     }
 
     /// Multiplies every residue by the same small scalar.
     pub fn mul_scalar_u64(&mut self, c: u64) {
         let consts: Vec<u64> = self.moduli().iter().map(|&q| c % q).collect();
-        self.mul_scalar_per_residue(&consts);
+        self.mul_scalar_per_residue(&consts)
+            .expect("constant list built from own moduli");
     }
 
     /// Applies the Galois automorphism `X → X^t` (odd `t`), used to
     /// implement slot rotations and conjugation.
     ///
-    /// # Panics
-    /// Panics if the polynomial is not in coefficient domain or `t` is even.
-    #[must_use]
-    pub fn automorphism(&self, t: usize) -> Self {
-        assert_eq!(
-            self.domain,
-            Domain::Coeff,
-            "automorphism requires coefficient domain"
-        );
-        assert!(t % 2 == 1, "Galois element must be odd");
+    /// # Errors
+    /// [`RnsError::WrongDomain`] if the polynomial is not in coefficient
+    /// domain; [`RnsError::EvenGaloisElement`] if `t` is even.
+    pub fn automorphism(&self, t: usize) -> Result<Self, RnsError> {
+        if self.domain != Domain::Coeff {
+            return Err(RnsError::WrongDomain {
+                op: "automorphism",
+                found: self.domain,
+                required: Domain::Coeff,
+            });
+        }
+        if t.is_multiple_of(2) {
+            return Err(RnsError::EvenGaloisElement { t });
+        }
         let n = self.n;
         let two_n = 2 * n;
         let mut out = self.clone();
@@ -332,88 +375,131 @@ impl RnsPoly {
             }
             dst.coeffs = new;
         }
-        out
+        Ok(out)
     }
 
     /// Removes and returns the last `k` residues.
     ///
-    /// # Panics
-    /// Panics if `k > R`.
-    pub fn pop_residues(&mut self, k: usize) -> Vec<ResiduePoly> {
-        assert!(k <= self.residues.len(), "cannot pop {k} residues");
-        self.residues.split_off(self.residues.len() - k)
+    /// # Errors
+    /// [`RnsError::NotEnoughResidues`] if `k > R`.
+    pub fn pop_residues(&mut self, k: usize) -> Result<Vec<ResiduePoly>, RnsError> {
+        if k > self.residues.len() {
+            return Err(RnsError::NotEnoughResidues {
+                op: "pop_residues",
+                have: self.residues.len(),
+                need: k,
+            });
+        }
+        Ok(self.residues.split_off(self.residues.len() - k))
     }
 
     /// Removes and returns the residues whose moduli appear in `moduli`
     /// (preserving the order of the remaining residues). This implements the
     /// `moveResiduesToEnd` + shed step of `scaleDown` (paper Listing 5).
     ///
-    /// # Panics
-    /// Panics if any requested modulus is absent.
-    pub fn extract_residues(&mut self, moduli: &[u64]) -> Vec<ResiduePoly> {
+    /// # Errors
+    /// [`RnsError::MissingModulus`] if any requested modulus is absent (the
+    /// polynomial is left with the residues removed so far).
+    pub fn extract_residues(&mut self, moduli: &[u64]) -> Result<Vec<ResiduePoly>, RnsError> {
         let mut out = Vec::with_capacity(moduli.len());
         for &q in moduli {
             let idx = self
                 .residues
                 .iter()
                 .position(|r| r.modulus() == q)
-                .unwrap_or_else(|| panic!("modulus {q} not present in polynomial"));
+                .ok_or(RnsError::MissingModulus { modulus: q })?;
             out.push(self.residues.remove(idx));
         }
-        out
+        Ok(out)
     }
 
     /// Appends all-zero residues for the given tables (the cheap half of
     /// `scaleUp`, paper Listing 3: after multiplying by `K = ∏ new qᵢ`, the
     /// new residues are exactly zero).
-    pub fn append_zero_residues(&mut self, tables: &[Arc<NttTable>]) {
+    ///
+    /// # Errors
+    /// [`RnsError::DegreeMismatch`] if a table's ring degree differs.
+    pub fn append_zero_residues(&mut self, tables: &[Arc<NttTable>]) -> Result<(), RnsError> {
         for t in tables {
-            assert_eq!(t.n(), self.n, "ring degree mismatch");
+            if t.n() != self.n {
+                return Err(RnsError::DegreeMismatch {
+                    left: self.n,
+                    right: t.n(),
+                });
+            }
+        }
+        for t in tables {
             self.residues.push(ResiduePoly::zero(Arc::clone(t)));
         }
+        Ok(())
     }
-
 
     /// Assembles a polynomial from residue polynomials.
     ///
-    /// # Panics
-    /// Panics if `residues` is empty or ring degrees disagree.
-    pub fn from_residues(domain: Domain, residues: Vec<ResiduePoly>) -> Self {
-        assert!(!residues.is_empty(), "need at least one residue");
-        let n = residues[0].table.n();
+    /// # Errors
+    /// [`RnsError::EmptyBasis`] if `residues` is empty;
+    /// [`RnsError::DegreeMismatch`] if ring degrees disagree.
+    pub fn from_residues(domain: Domain, residues: Vec<ResiduePoly>) -> Result<Self, RnsError> {
+        let n = residues.first().ok_or(RnsError::EmptyBasis)?.table.n();
         for r in &residues {
-            assert_eq!(r.table.n(), n, "ring degree mismatch");
+            if r.table.n() != n {
+                return Err(RnsError::DegreeMismatch {
+                    left: n,
+                    right: r.table.n(),
+                });
+            }
         }
-        Self {
+        Ok(Self {
             n,
             domain,
             residues,
-        }
+        })
     }
 
     /// Returns a copy containing only the residues for `moduli`, in that
     /// order. Used to restrict full-basis keys to a level's basis and to
     /// slice out keyswitching digits.
     ///
-    /// # Panics
-    /// Panics if a requested modulus is absent.
-    #[must_use]
-    pub fn restricted(&self, moduli: &[u64]) -> Self {
+    /// # Errors
+    /// [`RnsError::MissingModulus`] if a requested modulus is absent.
+    pub fn restricted(&self, moduli: &[u64]) -> Result<Self, RnsError> {
         let residues = moduli
             .iter()
             .map(|&q| {
                 self.residues
                     .iter()
                     .find(|r| r.modulus() == q)
-                    .unwrap_or_else(|| panic!("modulus {q} not present"))
-                    .clone()
+                    .cloned()
+                    .ok_or(RnsError::MissingModulus { modulus: q })
             })
-            .collect();
-        Self {
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
             n: self.n,
             domain: self.domain,
             residues,
+        })
+    }
+
+    /// Checks every coefficient of every residue is reduced modulo its
+    /// prime. Honest library code never violates this, but deserialized or
+    /// fault-injected polynomials can; integrity validation calls this.
+    ///
+    /// # Errors
+    /// [`RnsError::UnreducedCoefficient`] naming the first violation.
+    pub fn check_reduced(&self) -> Result<(), RnsError> {
+        for r in &self.residues {
+            let q = r.modulus();
+            for (i, &c) in r.coeffs.iter().enumerate() {
+                if c >= q {
+                    return Err(RnsError::UnreducedCoefficient {
+                        modulus: q,
+                        index: i,
+                        value: c,
+                    });
+                }
+            }
         }
+        Ok(())
     }
 }
 
@@ -432,7 +518,7 @@ mod tests {
         let (pool, qs) = setup();
         let a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, -2, 3, -4]);
         let b = RnsPoly::from_i64_coeffs(&pool, &qs, &[10, 20, -30]);
-        let c = a.add(&b).sub(&b);
+        let c = a.add(&b).unwrap().sub(&b).unwrap();
         for i in 0..a.num_residues() {
             assert_eq!(a.residue(i).coeffs(), c.residue(i).coeffs());
         }
@@ -455,7 +541,7 @@ mod tests {
         let mut b = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, -1]);
         a.to_ntt();
         b.to_ntt();
-        let mut c = a.mul(&b);
+        let mut c = a.mul(&b).unwrap();
         c.to_coeff();
         let r = c.residue(0);
         let q = r.modulus();
@@ -484,15 +570,18 @@ mod tests {
         let (pool, qs) = setup();
         let a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, 2, 3, 4, 5, 6, 7]);
         // t = 1 is the identity.
-        let id = a.automorphism(1);
+        let id = a.automorphism(1).unwrap();
         assert_eq!(id.residue(0).coeffs(), a.residue(0).coeffs());
         // Applying t then its inverse mod 2N is the identity.
         let n = a.n();
         let two_n = 2 * n;
         let t = 5usize;
         // Find inverse of t mod 2N.
-        let tinv = (1..two_n).step_by(2).find(|&x| (x * t) % two_n == 1).unwrap();
-        let back = a.automorphism(t).automorphism(tinv);
+        let tinv = (1..two_n)
+            .step_by(2)
+            .find(|&x| (x * t) % two_n == 1)
+            .unwrap();
+        let back = a.automorphism(t).unwrap().automorphism(tinv).unwrap();
         for i in 0..a.num_residues() {
             assert_eq!(back.residue(i).coeffs(), a.residue(i).coeffs());
         }
@@ -509,14 +598,14 @@ mod tests {
         let (mut an, mut bn) = (a.clone(), b.clone());
         an.to_ntt();
         bn.to_ntt();
-        let mut ab = an.mul(&bn);
+        let mut ab = an.mul(&bn).unwrap();
         ab.to_coeff();
-        let lhs = ab.automorphism(t);
+        let lhs = ab.automorphism(t).unwrap();
 
-        let (mut at, mut bt) = (a.automorphism(t), b.automorphism(t));
+        let (mut at, mut bt) = (a.automorphism(t).unwrap(), b.automorphism(t).unwrap());
         at.to_ntt();
         bt.to_ntt();
-        let mut rhs = at.mul(&bt);
+        let mut rhs = at.mul(&bt).unwrap();
         rhs.to_coeff();
 
         for i in 0..lhs.num_residues() {
@@ -528,7 +617,7 @@ mod tests {
     fn extract_residues_by_value() {
         let (pool, qs) = setup();
         let mut a = RnsPoly::from_i64_coeffs(&pool, &qs, &[42]);
-        let taken = a.extract_residues(&[qs[1]]);
+        let taken = a.extract_residues(&[qs[1]]).unwrap();
         assert_eq!(taken.len(), 1);
         assert_eq!(taken[0].modulus(), qs[1]);
         assert_eq!(a.moduli(), vec![qs[0], qs[2]]);
@@ -538,17 +627,98 @@ mod tests {
     fn append_zero_residues_extends_basis() {
         let (pool, qs) = setup();
         let mut a = RnsPoly::from_i64_coeffs(&pool, &qs[..2], &[1]);
-        a.append_zero_residues(&[pool.table(qs[2])]);
+        a.append_zero_residues(&[pool.table(qs[2])]).unwrap();
         assert_eq!(a.num_residues(), 3);
         assert!(a.residue(2).coeffs().iter().all(|&x| x == 0));
     }
 
     #[test]
-    #[should_panic(expected = "basis mismatch")]
-    fn incompatible_add_panics() {
+    fn incompatible_add_reports_basis_mismatch() {
         let (pool, qs) = setup();
         let a = RnsPoly::from_i64_coeffs(&pool, &qs[..2], &[1]);
         let b = RnsPoly::from_i64_coeffs(&pool, &qs[..3], &[1]);
-        let _ = a.add(&b);
+        match a.add(&b) {
+            Err(RnsError::BasisMismatch { left, right }) => {
+                assert_eq!(left.len(), 2);
+                assert_eq!(right.len(), 3);
+            }
+            other => panic!("expected BasisMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn domain_mismatch_reported_before_basis() {
+        let (pool, qs) = setup();
+        let a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1]);
+        let mut b = a.clone();
+        b.to_ntt();
+        assert!(matches!(
+            a.add(&b),
+            Err(RnsError::DomainMismatch {
+                left: Domain::Coeff,
+                right: Domain::Ntt
+            })
+        ));
+    }
+
+    #[test]
+    fn mul_in_coeff_domain_reports_wrong_domain() {
+        let (pool, qs) = setup();
+        let a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, 2]);
+        assert!(matches!(
+            a.mul(&a),
+            Err(RnsError::WrongDomain { op: "mul", .. })
+        ));
+    }
+
+    #[test]
+    fn automorphism_rejects_even_and_ntt() {
+        let (pool, qs) = setup();
+        let a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, 2]);
+        assert!(matches!(
+            a.automorphism(4),
+            Err(RnsError::EvenGaloisElement { t: 4 })
+        ));
+        let mut b = a.clone();
+        b.to_ntt();
+        assert!(matches!(
+            b.automorphism(3),
+            Err(RnsError::WrongDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_modulus_and_pop_overflow_are_typed() {
+        let (pool, qs) = setup();
+        let mut a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1]);
+        assert!(matches!(
+            a.restricted(&[12345]),
+            Err(RnsError::MissingModulus { modulus: 12345 })
+        ));
+        assert!(matches!(
+            a.extract_residues(&[999]),
+            Err(RnsError::MissingModulus { modulus: 999 })
+        ));
+        assert!(matches!(
+            a.pop_residues(17),
+            Err(RnsError::NotEnoughResidues { need: 17, .. })
+        ));
+        assert!(matches!(
+            RnsPoly::from_residues(Domain::Coeff, vec![]),
+            Err(RnsError::EmptyBasis)
+        ));
+    }
+
+    #[test]
+    fn check_reduced_flags_corruption() {
+        let (pool, qs) = setup();
+        let mut a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, 2]);
+        assert!(a.check_reduced().is_ok());
+        let q = a.residue(0).modulus();
+        a.residues_mut()[0].coeffs_mut()[1] = q; // == modulus: unreduced
+        assert!(matches!(
+            a.check_reduced(),
+            Err(RnsError::UnreducedCoefficient { index: 1, .. })
+        ));
     }
 }

@@ -12,7 +12,7 @@
 //! in `bp-ckks`.
 
 use crate::basis::BasisConverter;
-use crate::{Domain, NttTable, RnsPoly};
+use crate::{Domain, NttTable, RnsError, RnsPoly};
 use bp_math::BigUint;
 use std::sync::Arc;
 
@@ -23,12 +23,19 @@ use std::sync::Arc;
 /// term. Valid in either domain (the correction residue is brought to
 /// coefficient form internally).
 ///
-/// # Panics
-/// Panics if the polynomial has fewer than 2 residues.
-pub fn rns_rescale_once(poly: &mut RnsPoly) {
-    assert!(poly.num_residues() >= 2, "cannot rescale below one residue");
+/// # Errors
+/// [`RnsError::NotEnoughResidues`] if the polynomial has fewer than 2
+/// residues.
+pub fn rns_rescale_once(poly: &mut RnsPoly) -> Result<(), RnsError> {
+    if poly.num_residues() < 2 {
+        return Err(RnsError::NotEnoughResidues {
+            op: "rescale",
+            have: poly.num_residues(),
+            need: 2,
+        });
+    }
     let domain = poly.domain();
-    let last = poly.pop_residues(1).pop().expect("one residue");
+    let last = poly.pop_residues(1)?.pop().expect("one residue");
     let q_last = last.modulus();
 
     // Bring the shed residue to coefficient form for cross-modulus reduction.
@@ -55,22 +62,24 @@ pub fn rns_rescale_once(poly: &mut RnsPoly) {
             *x = m.mul_shoup(d, inv_q, inv_q_s);
         }
     }
+    Ok(())
 }
 
 /// Scale-up by new moduli (paper Listing 3): multiplies the polynomial by
 /// `K = ∏ qᵢ` over the existing residues and appends zero residues for each
 /// new modulus. The represented value becomes `K · x` with modulus `K · Q`.
 ///
-/// # Panics
-/// Panics if any new modulus already appears in the polynomial's basis.
-pub fn scale_up(poly: &mut RnsPoly, new_tables: &[Arc<NttTable>]) {
+/// # Errors
+/// [`RnsError::DuplicateModulus`] if any new modulus already appears in
+/// the polynomial's basis.
+pub fn scale_up(poly: &mut RnsPoly, new_tables: &[Arc<NttTable>]) -> Result<(), RnsError> {
     let existing = poly.moduli();
     for t in new_tables {
-        assert!(
-            !existing.contains(&t.modulus().value()),
-            "scale_up modulus {} already present",
-            t.modulus()
-        );
+        if existing.contains(&t.modulus().value()) {
+            return Err(RnsError::DuplicateModulus {
+                modulus: t.modulus().value(),
+            });
+        }
     }
     let k = BigUint::product_of(
         &new_tables
@@ -79,7 +88,8 @@ pub fn scale_up(poly: &mut RnsPoly, new_tables: &[Arc<NttTable>]) {
             .collect::<Vec<_>>(),
     );
     poly.mul_biguint(&k);
-    poly.append_zero_residues(new_tables);
+    poly.append_zero_residues(new_tables)?;
+    Ok(())
 }
 
 /// Scale-down (paper Listing 5): divides by `P = ∏ shed moduli` (flooring,
@@ -89,17 +99,23 @@ pub fn scale_up(poly: &mut RnsPoly, new_tables: &[Arc<NttTable>]) {
 /// The shed set may be *any* subset of the basis; residues are internally
 /// moved to the end, mirroring `moveResiduesToEnd` in the paper.
 ///
-/// # Panics
-/// Panics if a shed modulus is absent or if shedding would leave zero
-/// residues.
-pub fn scale_down(poly: &mut RnsPoly, shed_moduli: &[u64]) {
-    assert!(!shed_moduli.is_empty(), "must shed at least one modulus");
-    assert!(
-        poly.num_residues() > shed_moduli.len(),
-        "cannot shed all residues"
-    );
+/// # Errors
+/// [`RnsError::EmptyBasis`] if `shed_moduli` is empty;
+/// [`RnsError::MissingModulus`] if a shed modulus is absent;
+/// [`RnsError::NotEnoughResidues`] if shedding would leave zero residues.
+pub fn scale_down(poly: &mut RnsPoly, shed_moduli: &[u64]) -> Result<(), RnsError> {
+    if shed_moduli.is_empty() {
+        return Err(RnsError::EmptyBasis);
+    }
+    if poly.num_residues() <= shed_moduli.len() {
+        return Err(RnsError::NotEnoughResidues {
+            op: "scale_down",
+            have: poly.num_residues(),
+            need: shed_moduli.len() + 1,
+        });
+    }
     let domain = poly.domain();
-    let shed = poly.extract_residues(shed_moduli);
+    let shed = poly.extract_residues(shed_moduli)?;
     let shed_tables: Vec<Arc<NttTable>> = shed.iter().map(|r| Arc::clone(r.table())).collect();
     let kept_tables: Vec<Arc<NttTable>> = poly
         .residues()
@@ -107,9 +123,9 @@ pub fn scale_down(poly: &mut RnsPoly, shed_moduli: &[u64]) {
         .map(|r| Arc::clone(r.table()))
         .collect();
 
-    let conv = BasisConverter::new(&shed_tables, &kept_tables);
+    let conv = BasisConverter::new(&shed_tables, &kept_tables)?;
     // subMe ≈ (x mod P) represented in the kept basis.
-    let corrections = conv.convert_from(&shed, domain, domain);
+    let corrections = conv.convert_from(&shed, domain, domain)?;
     let p = conv.p();
 
     for (r, corr) in poly.residues_mut().iter_mut().zip(corrections) {
@@ -121,6 +137,7 @@ pub fn scale_down(poly: &mut RnsPoly, shed_moduli: &[u64]) {
             *x = m.mul_shoup(d, inv_p, inv_p_s);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -148,9 +165,11 @@ mod tests {
         let pool = PrimePool::new(1 << 3);
         let qs = pool.first_primes_below(30, 3);
         // x = some value < Q
-        let x = BigUint::from(qs[2]).mul_u64(12345).add(&BigUint::from(678u64));
+        let x = BigUint::from(qs[2])
+            .mul_u64(12345)
+            .add(&BigUint::from(678u64));
         let mut p = poly_from_big(&pool, &qs, &x);
-        rns_rescale_once(&mut p);
+        rns_rescale_once(&mut p).unwrap();
         // Expected: close to floor(x / q_last); the RNS identity gives
         // (x - (x mod q_last rep)) / q_last which may differ from the exact
         // floor by less than 1 in integer value -> check within 1.
@@ -174,10 +193,10 @@ mod tests {
         let coeffs: Vec<i64> = (0..16).map(|i| i * 1_000_003 + 7).collect();
         let mut a = RnsPoly::from_i64_coeffs(&pool, &qs, &coeffs);
         let mut b = a.clone();
-        rns_rescale_once(&mut a);
+        rns_rescale_once(&mut a).unwrap();
 
         b.to_ntt();
-        rns_rescale_once(&mut b);
+        rns_rescale_once(&mut b).unwrap();
         b.to_coeff();
         for i in 0..a.num_residues() {
             assert_eq!(a.residue(i).coeffs(), b.residue(i).coeffs());
@@ -192,7 +211,7 @@ mod tests {
         let x = BigUint::from(987654321u64);
         let mut p = poly_from_big(&pool, qs, &x);
         let new_tables: Vec<_> = new.iter().map(|&q| pool.table(q)).collect();
-        scale_up(&mut p, &new_tables);
+        scale_up(&mut p, &new_tables).unwrap();
         assert_eq!(p.num_residues(), 4);
         let got = read_big(&p, 0);
         let k = BigUint::product_of(new);
@@ -207,8 +226,8 @@ mod tests {
         let x = BigUint::from(424242u64);
         let mut p = poly_from_big(&pool, qs, &x);
         let new_tables: Vec<_> = new.iter().map(|&q| pool.table(q)).collect();
-        scale_up(&mut p, &new_tables);
-        scale_down(&mut p, new);
+        scale_up(&mut p, &new_tables).unwrap();
+        scale_down(&mut p, new).unwrap();
         assert_eq!(p.moduli(), qs.to_vec());
         let got = read_big(&p, 0);
         // scale_down(scale_up(x)) = floor(Kx/K) + small error <= k
@@ -229,7 +248,7 @@ mod tests {
         let mut p = poly_from_big(&pool, &qs, &x);
         // Shed the *first* and *third* moduli (out of order).
         let shed = [qs[2], qs[0]];
-        scale_down(&mut p, &shed);
+        scale_down(&mut p, &shed).unwrap();
         assert_eq!(p.moduli(), vec![qs[1], qs[3]]);
         let got = read_big(&p, 0);
         let pprod = BigUint::product_of(&shed);
@@ -250,13 +269,13 @@ mod tests {
         let coeffs: Vec<i64> = (0..16).map(|i| i * 99991 + 3).collect();
         let mut a = RnsPoly::from_i64_coeffs(&pool, qs, &coeffs);
         let new_tables: Vec<_> = new.iter().map(|&q| pool.table(q)).collect();
-        scale_up(&mut a, &new_tables);
+        scale_up(&mut a, &new_tables).unwrap();
 
         let mut b = a.clone();
-        scale_down(&mut a, new);
+        scale_down(&mut a, new).unwrap();
 
         b.to_ntt();
-        scale_down(&mut b, new);
+        scale_down(&mut b, new).unwrap();
         b.to_coeff();
         for i in 0..a.num_residues() {
             assert_eq!(a.residue(i).coeffs(), b.residue(i).coeffs());
@@ -264,11 +283,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot shed all residues")]
-    fn shedding_everything_panics() {
+    fn shedding_everything_is_an_error() {
         let pool = PrimePool::new(1 << 3);
         let qs = pool.first_primes_below(30, 2);
         let mut p = RnsPoly::zero(&pool, &qs, Domain::Coeff);
-        scale_down(&mut p, &qs);
+        assert!(matches!(
+            scale_down(&mut p, &qs),
+            Err(RnsError::NotEnoughResidues { .. })
+        ));
+    }
+
+    #[test]
+    fn rescale_below_two_residues_is_an_error() {
+        let pool = PrimePool::new(1 << 3);
+        let qs = pool.first_primes_below(30, 1);
+        let mut p = RnsPoly::zero(&pool, &qs, Domain::Coeff);
+        assert!(matches!(
+            rns_rescale_once(&mut p),
+            Err(RnsError::NotEnoughResidues { op: "rescale", .. })
+        ));
+    }
+
+    #[test]
+    fn scale_up_duplicate_modulus_is_an_error() {
+        let pool = PrimePool::new(1 << 3);
+        let qs = pool.first_primes_below(30, 2);
+        let mut p = RnsPoly::zero(&pool, &qs, Domain::Coeff);
+        let dup = [pool.table(qs[0])];
+        assert!(matches!(
+            scale_up(&mut p, &dup),
+            Err(RnsError::DuplicateModulus { .. })
+        ));
     }
 }

@@ -7,15 +7,28 @@ fn main() {
     let mut n = 0;
     for spec in WorkloadSpec::all() {
         let mut ms = [0.0f64; 2];
-        for (i, repr) in [Representation::BitPacker, Representation::RnsCkks].iter().enumerate() {
+        for (i, repr) in [Representation::BitPacker, Representation::RnsCkks]
+            .iter()
+            .enumerate()
+        {
             let (chain, al) = spec.build_chain(*repr, 28, SecurityLevel::Bits128).unwrap();
             let (trace, ctx) = spec.trace(&chain, al);
             let ws = spec.working_set_mb(&chain);
             ms[i] = simulate(&trace, &cfg, &ctx, ws).ms;
         }
         let slowdown = ms[1] / ms[0];
-        println!("{:28} BP {:8.1} ms  RC {:8.1} ms  slowdown {:.2}x", spec.name(), ms[0], ms[1], slowdown);
-        gmean += slowdown.ln(); n += 1;
+        println!(
+            "{:28} BP {:8.1} ms  RC {:8.1} ms  slowdown {:.2}x",
+            spec.name(),
+            ms[0],
+            ms[1],
+            slowdown
+        );
+        gmean += slowdown.ln();
+        n += 1;
     }
-    println!("gmean slowdown: {:.2}x (paper: 1.59x)", (gmean / n as f64).exp());
+    println!(
+        "gmean slowdown: {:.2}x (paper: 1.59x)",
+        (gmean / n as f64).exp()
+    );
 }

@@ -5,17 +5,27 @@ fn main() {
     let base = AcceleratorConfig::craterlake();
     for w in [28u32, 36, 48, 64] {
         let cfg = base.with_word_bits(w);
-        let mut g = 0.0; let mut n = 0;
+        let mut g = 0.0;
+        let mut n = 0;
         let mut bp_gms = 0.0;
         for spec in WorkloadSpec::all() {
             let mut ms = [0.0f64; 2];
-            for (i, repr) in [Representation::BitPacker, Representation::RnsCkks].iter().enumerate() {
+            for (i, repr) in [Representation::BitPacker, Representation::RnsCkks]
+                .iter()
+                .enumerate()
+            {
                 let (chain, al) = spec.build_chain(*repr, w, SecurityLevel::Bits128).unwrap();
                 let (trace, ctx) = spec.trace(&chain, al);
                 ms[i] = simulate(&trace, &cfg, &ctx, spec.working_set_mb(&chain)).ms;
             }
-            g += (ms[1]/ms[0]).ln(); bp_gms += ms[0].ln(); n += 1;
+            g += (ms[1] / ms[0]).ln();
+            bp_gms += ms[0].ln();
+            n += 1;
         }
-        println!("w={w}: gmean RC slowdown {:.2}x, gmean BP time {:.1} ms", (g/n as f64).exp(), (bp_gms/n as f64).exp());
+        println!(
+            "w={w}: gmean RC slowdown {:.2}x, gmean BP time {:.1} ms",
+            (g / n as f64).exp(),
+            (bp_gms / n as f64).exp()
+        );
     }
 }

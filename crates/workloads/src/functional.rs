@@ -21,6 +21,11 @@ pub struct PrecisionReport {
     pub mean_bits: f64,
     /// `-log₂(max |error|)` (the paper's "worst-case").
     pub worst_bits: f64,
+    /// Number of automatic alignment repairs the evaluator performed.
+    /// The proxy circuits are hand-aligned and run under
+    /// [`bp_ckks::EvalPolicy::Strict`], so this is 0 unless the circuit
+    /// construction regresses.
+    pub repairs: u64,
 }
 
 /// Activation structure of the proxy (mirrors the applications).
@@ -88,11 +93,7 @@ pub fn run_proxy<R: Rng + ?Sized>(
     // after every layer (as real pipelines do via batch norm) so values
     // stay in range and errors are comparable across depths.
     let mut reference: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let mut ct = ctx.encrypt(
-        &ctx.encode(&reference, ctx.max_level()),
-        &keys.public,
-        rng,
-    );
+    let mut ct = ctx.encrypt(&ctx.encode(&reference, ctx.max_level()), &keys.public, rng);
 
     let activation = activation_for(app);
     loop {
@@ -106,14 +107,24 @@ pub fn run_proxy<R: Rng + ?Sized>(
         }
         // Weight multiply (plaintext) + rescale.
         let weights: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let pw = ctx.encode_at_scale(&weights, ct.level(), ctx.chain().scale_at(ct.level()).clone());
-        ct = ev.rescale(&ev.mul_plain(&ct, &pw));
+        let pw = ctx.encode_at_scale(
+            &weights,
+            ct.level(),
+            ctx.chain().scale_at(ct.level()).clone(),
+        );
+        ct = ev
+            .rescale(&ev.mul_plain(&ct, &pw).expect("matched level and basis"))
+            .expect("level checked above");
         for (r, w) in reference.iter_mut().zip(&weights) {
             *r *= w;
         }
         // Rotate-accumulate (convolution/matvec surrogate).
-        let rot = ev.rotate(&ct, 1, &keys.evaluation);
-        ct = ev.add(&ct, &rot);
+        let rot = ev
+            .rotate(&ct, 1, &keys.evaluation)
+            .expect("rotation key for step 1 generated above");
+        ct = ev
+            .add(&ct, &rot)
+            .expect("rotation preserves level and scale");
         let shifted: Vec<f64> = (0..slots).map(|i| reference[(i + 1) % slots]).collect();
         for (r, s) in reference.iter_mut().zip(&shifted) {
             *r = (*r + s) / 2.0;
@@ -124,26 +135,48 @@ pub fn run_proxy<R: Rng + ?Sized>(
             ct.level(),
             ctx.chain().scale_at(ct.level()).clone(),
         );
-        ct = ev.rescale(&ev.mul_plain(&ct, &half));
+        ct = ev
+            .rescale(&ev.mul_plain(&ct, &half).expect("matched level and basis"))
+            .expect("level checked above");
 
         // Activation.
         match activation {
             Activation::Square | Activation::DeepPoly => {
-                ct = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+                ct = ev
+                    .rescale(
+                        &ev.mul(&ct, &ct, &keys.evaluation)
+                            .expect("self-mul is aligned"),
+                    )
+                    .expect("level checked above");
                 for r in reference.iter_mut() {
                     *r = *r * *r;
                 }
                 if activation == Activation::DeepPoly && ct.level() >= 1 {
-                    ct = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+                    ct = ev
+                        .rescale(
+                            &ev.mul(&ct, &ct, &keys.evaluation)
+                                .expect("self-mul is aligned"),
+                        )
+                        .expect("level checked above");
                     for r in reference.iter_mut() {
                         *r = *r * *r;
                     }
                 }
             }
             Activation::Cube => {
-                let sq = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
-                let ct_adj = ev.adjust_to(&ct, sq.level());
-                ct = ev.rescale(&ev.mul(&sq, &ct_adj, &keys.evaluation));
+                let sq = ev
+                    .rescale(
+                        &ev.mul(&ct, &ct, &keys.evaluation)
+                            .expect("self-mul is aligned"),
+                    )
+                    .expect("level checked above");
+                let ct_adj = ev.adjust_to(&ct, sq.level()).expect("adjust goes downward");
+                ct = ev
+                    .rescale(
+                        &ev.mul(&sq, &ct_adj, &keys.evaluation)
+                            .expect("adjusted to match"),
+                    )
+                    .expect("level checked above");
                 for r in reference.iter_mut() {
                     *r = *r * *r * *r;
                 }
@@ -151,7 +184,9 @@ pub fn run_proxy<R: Rng + ?Sized>(
         }
     }
 
-    let got = ctx.decrypt_to_values(&ct, &keys.secret, slots);
+    let got = ctx
+        .decrypt_to_values(&ct, &keys.secret, slots)
+        .expect("proxy depth is chosen to keep noise budget positive");
     let mut max_err = 0f64;
     let mut sum_err = 0f64;
     for (g, r) in got.iter().zip(&reference) {
@@ -163,6 +198,7 @@ pub fn run_proxy<R: Rng + ?Sized>(
     PrecisionReport {
         mean_bits: -(mean_err.max(1e-18)).log2(),
         worst_bits: -(max_err.max(1e-18)).log2(),
+        repairs: ev.repairs().total(),
     }
 }
 
@@ -175,19 +211,14 @@ mod tests {
     #[test]
     fn proxy_reports_usable_precision() {
         let mut rng = ChaCha20Rng::seed_from_u64(11);
-        let rep = run_proxy(
-            App::SqueezeNet,
-            Representation::BitPacker,
-            8,
-            6,
-            &mut rng,
-        );
+        let rep = run_proxy(App::SqueezeNet, Representation::BitPacker, 8, 6, &mut rng);
         assert!(
             rep.worst_bits > 8.0,
             "worst-case {:.1} bits too low",
             rep.worst_bits
         );
         assert!(rep.mean_bits >= rep.worst_bits);
+        assert_eq!(rep.repairs, 0, "strict-mode proxy must need no repairs");
     }
 
     #[test]

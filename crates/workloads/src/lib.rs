@@ -93,11 +93,11 @@ impl App {
     /// polynomial ReLU, while AESPA's degree-2 activations collapse it).
     pub fn total_depth(&self) -> usize {
         match self {
-            App::ResNet20 => 110,      // 20 layers × (conv 1 + ReLU ~4.5)
-            App::ResNet20Aespa => 40,  // 20 layers × (conv 1 + square 1)
-            App::Rnn => 120,           // 200 steps, ~3 levels per 5 steps batched
-            App::SqueezeNet => 54,     // 18 fire/conv stages × 3
-            App::LogReg => 96,         // 32 iterations × 3 levels
+            App::ResNet20 => 110,     // 20 layers × (conv 1 + ReLU ~4.5)
+            App::ResNet20Aespa => 40, // 20 layers × (conv 1 + square 1)
+            App::Rnn => 120,          // 200 steps, ~3 levels per 5 steps batched
+            App::SqueezeNet => 54,    // 18 fire/conv stages × 3
+            App::LogReg => 96,        // 32 iterations × 3 levels
         }
     }
 
@@ -194,10 +194,7 @@ impl Bootstrap {
 
     /// Total modulus bits one bootstrap consumes.
     pub fn bits(&self) -> u32 {
-        self.stages()
-            .iter()
-            .map(|&(s, l, _)| s * l as u32)
-            .sum()
+        self.stages().iter().map(|&(s, l, _)| s * l as u32).sum()
     }
 }
 
@@ -232,9 +229,9 @@ impl WorkloadSpec {
     /// on top. `app_levels` is chosen so `Q + P` fits the security budget.
     fn schedule(&self, app_levels: usize) -> Vec<u32> {
         let mut sched = vec![self.app.scale_bits().min(45)]; // level-0 slot
-        sched.extend(std::iter::repeat(self.app.scale_bits()).take(app_levels));
+        sched.extend(std::iter::repeat_n(self.app.scale_bits(), app_levels));
         for &(scale, levels, _) in self.bootstrap.stages().iter().rev() {
-            sched.extend(std::iter::repeat(scale).take(levels));
+            sched.extend(std::iter::repeat_n(scale, levels));
         }
         sched
     }
@@ -259,8 +256,7 @@ impl WorkloadSpec {
         // chain fits; Q+P is roughly Q·(1 + 1.1/dnum).
         let allowed = security.max_log_q(1 << 16) as f64;
         let q_budget = allowed / (1.0 + 1.1 / 3.0);
-        let est = ((q_budget - 60.0 - self.bootstrap.bits() as f64)
-            / self.app.scale_bits() as f64)
+        let est = ((q_budget - 60.0 - self.bootstrap.bits() as f64) / self.app.scale_bits() as f64)
             .floor() as usize;
         let mut app_levels = (est + 2).clamp(2, 24);
         loop {

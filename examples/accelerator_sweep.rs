@@ -17,7 +17,10 @@ fn main() {
         bootstrap: Bootstrap::BS19,
     };
     let base = AcceleratorConfig::craterlake();
-    println!("design sweep for {} (iso-throughput machines)\n", spec.name());
+    println!(
+        "design sweep for {} (iso-throughput machines)\n",
+        spec.name()
+    );
     println!(
         "{:>4} {:<10} {:>9} {:>10} {:>10} {:>12}",
         "w", "scheme", "time(ms)", "energy(mJ)", "area(mm2)", "EDAP"

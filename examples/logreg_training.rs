@@ -33,7 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let xs: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let ys: Vec<f64> = xs
         .iter()
-        .map(|&x| if x + rng.gen_range(-0.1..0.1) > 0.2 { 1.0 } else { 0.0 })
+        .map(|&x| {
+            if x + rng.gen_range(-0.1..0.1) > 0.2 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .collect();
 
     let ct_x = ctx.encrypt(&ctx.encode(&xs, ctx.max_level()), &keys.public, &mut rng);
@@ -52,8 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for step in 0..2 {
         // z = w * x  (ciphertext-ciphertext multiply + rescale)
-        let aligned_x = ev.adjust_to(&ct_x, ct_w.level());
-        let z = ev.rescale(&ev.mul(&ct_w, &aligned_x, &keys.evaluation));
+        let aligned_x = ev.adjust_to(&ct_x, ct_w.level())?;
+        let z = ev.rescale(&ev.mul(&ct_w, &aligned_x, &keys.evaluation)?)?;
         // sigma(z) - y ≈ 0.5 + 0.15 z - y
         let grad_lin = {
             let p = ctx.encode_at_scale(
@@ -61,31 +67,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 z.level(),
                 ctx.chain().scale_at(z.level()).clone(),
             );
-            let scaled = ev.rescale(&ev.mul_plain(&z, &p));
-            let y_adj = ev.adjust_to(&ct_y, scaled.level());
+            let scaled = ev.rescale(&ev.mul_plain(&z, &p)?)?;
+            let y_adj = ev.adjust_to(&ct_y, scaled.level())?;
             let half =
                 ctx.encode_at_scale(&vec![0.5; slots], scaled.level(), scaled.scale().clone());
-            ev.sub(&ev.add_plain(&scaled, &half), &y_adj)
+            ev.sub(&ev.add_plain(&scaled, &half)?, &y_adj)?
         };
         // grad = (sigma - y) * x ; mean-reduce is skipped (per-slot SGD).
-        let x_adj = ev.adjust_to(&ct_x, grad_lin.level());
-        let grad = ev.rescale(&ev.mul(&grad_lin, &x_adj, &keys.evaluation));
+        let x_adj = ev.adjust_to(&ct_x, grad_lin.level())?;
+        let grad = ev.rescale(&ev.mul(&grad_lin, &x_adj, &keys.evaluation)?)?;
         // w <- w - lr * grad
         let lr_pt = ctx.encode_at_scale(
             &vec![lr; slots],
             grad.level(),
             ctx.chain().scale_at(grad.level()).clone(),
         );
-        let update = ev.rescale(&ev.mul_plain(&grad, &lr_pt));
-        let w_aligned = ev.adjust_to(&ct_w, update.level());
-        ct_w = ev.sub(&w_aligned, &update);
+        let update = ev.rescale(&ev.mul_plain(&grad, &lr_pt)?)?;
+        let w_aligned = ev.adjust_to(&ct_w, update.level())?;
+        ct_w = ev.sub(&w_aligned, &update)?;
 
-        println!("step {step}: encrypted weight updated at level {}", ct_w.level());
+        println!(
+            "step {step}: encrypted weight updated at level {}",
+            ct_w.level()
+        );
     }
 
     // Verify: decrypt the per-slot weights and check a few slots against
     // the exact per-slot SGD recurrence.
-    let got = ctx.decrypt_to_values(&ct_w, &keys.secret, slots);
+    let got = ctx.decrypt_to_values(&ct_w, &keys.secret, slots)?;
     let mut max_err = 0f64;
     for i in 0..8 {
         let (x, y) = (xs[i], ys[i]);

@@ -24,7 +24,7 @@ fn matvec(
     keys: &KeySet,
     ct: &Ciphertext,
     matrix: &[Vec<f64>],
-) -> Ciphertext {
+) -> Result<Ciphertext, EvalError> {
     let slots = ctx.params().slots();
     let mut acc: Option<Ciphertext> = None;
     for (d, _) in matrix.iter().enumerate() {
@@ -36,17 +36,17 @@ fn matvec(
         let rotated = if d == 0 {
             ct.clone()
         } else {
-            ev.rotate(ct, d as i64, &keys.evaluation)
+            ev.rotate(ct, d as i64, &keys.evaluation)?
         };
         let pt = ctx.encode_at_scale(
             &diag,
             rotated.level(),
             ctx.chain().scale_at(rotated.level()).clone(),
         );
-        let term = ev.mul_plain(&rotated, &pt);
+        let term = ev.mul_plain(&rotated, &pt)?;
         acc = Some(match acc {
             None => term,
-            Some(a) => ev.add(&a, &term),
+            Some(a) => ev.add(&a, &term)?,
         });
     }
     ev.rescale(&acc.expect("nonempty matrix"))
@@ -87,9 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Server side: evaluate the network on ciphertexts only.
     let mut reference = input.clone();
     for w in &weights {
-        ct = matvec(&ctx, &ev, &keys, &ct, w);
-        ct = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation)); // AESPA square
-        // Plaintext reference for verification.
+        ct = matvec(&ctx, &ev, &keys, &ct, w)?;
+        ct = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation)?)?; // AESPA square
+                                                                // Plaintext reference for verification.
         let mut out = vec![0.0; DIM];
         for (r, row) in w.iter().enumerate() {
             out[r] = row.iter().zip(&reference).map(|(a, b)| a * b).sum();
@@ -98,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Client side: decrypt the prediction.
-    let got = ctx.decrypt_to_values(&ct, &keys.secret, DIM);
+    let got = ctx.decrypt_to_values(&ct, &keys.secret, DIM)?;
     println!("encrypted {LAYERS}-layer MLP over {DIM} features (BitPacker, 28-bit words)\n");
     let mut max_err = 0f64;
     for i in 0..DIM {

@@ -30,12 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ct = ctx.encrypt(&ctx.encode(&x, ctx.max_level()), &keys.public, &mut rng);
 
         // x^2, rescaled one level down …
-        let x2 = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+        let x2 = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation)?)?;
         // … and x adjusted to the same level and scale so they can be added.
-        let x_adj = ev.adjust_to(&ct, x2.level());
-        let result = ev.add(&x2, &x_adj);
+        let x_adj = ev.adjust_to(&ct, x2.level())?;
+        let result = ev.add(&x2, &x_adj)?;
 
-        let got = ctx.decrypt_to_values(&result, &keys.secret, 8);
+        let got = ctx.decrypt_to_values(&result, &keys.secret, 8)?;
         println!("{repr}:");
         println!("  ciphertext residues at top level: {}", ct.num_residues());
         for (xi, gi) in x.iter().zip(&got) {
@@ -43,6 +43,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  x = {xi:.2}  x²+x = {want:.4}  decrypted = {gi:.4}");
             assert!((gi - want).abs() < 1e-2, "unexpected error");
         }
+
+        // The same circuit under AutoAlign: the evaluator inserts the
+        // adjust itself and records the repair in its log.
+        let auto = ctx.evaluator_with_policy(EvalPolicy::AutoAlign);
+        let x2 = auto.rescale(&auto.mul(&ct, &ct, &keys.evaluation)?)?;
+        let auto_result = auto.add(&x2, &ct)?; // mismatched level: repaired
+        let auto_got = ctx.decrypt_to_values(&auto_result, &keys.secret, 8)?;
+        for (gi, ai) in got.iter().zip(&auto_got) {
+            assert!((gi - ai).abs() < 1e-3, "auto-align drifted");
+        }
+        println!(
+            "  AutoAlign repaired the misaligned add: {} adjust(s), {} rescale(s)",
+            auto.repairs().adjusts(),
+            auto.repairs().rescales()
+        );
     }
     println!("\nBoth representations compute identical results; BitPacker just");
     println!("stores them in fewer hardware words (compare the residue counts).");

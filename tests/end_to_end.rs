@@ -42,15 +42,16 @@ fn both_representations_agree_on_results() {
         let x = vec![0.9, -0.3, 0.1, 0.7];
         let ct = ctx.encrypt(&ctx.encode(&x, ctx.max_level()), &keys.public, &mut rng);
         // ((x^2)^2) across two levels.
-        let a = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
-        let b = ev.rescale(&ev.mul(&a, &a, &keys.evaluation));
-        outputs.push(ctx.decrypt_to_values(&b, &keys.secret, 4));
+        let a = ev
+            .rescale(&ev.mul(&ct, &ct, &keys.evaluation).unwrap())
+            .unwrap();
+        let b = ev
+            .rescale(&ev.mul(&a, &a, &keys.evaluation).unwrap())
+            .unwrap();
+        outputs.push(ctx.decrypt_to_values(&b, &keys.secret, 4).unwrap());
     }
     for (u, v) in outputs[0].iter().zip(&outputs[1]) {
-        assert!(
-            (u - v).abs() < 1e-3,
-            "representations disagree: {u} vs {v}"
-        );
+        assert!((u - v).abs() < 1e-3, "representations disagree: {u} vs {v}");
     }
     // And both match the plaintext computation.
     for (u, x) in outputs[0].iter().zip([0.9f64, -0.3, 0.1, 0.7]) {
@@ -107,13 +108,11 @@ fn chain_scales_survive_roundtrip_through_evaluation() {
     let mut rng = ChaCha20Rng::seed_from_u64(3);
     let keys = ctx.keygen(&mut rng);
     let ev = ctx.evaluator();
-    let mut ct = ctx.encrypt(
-        &ctx.encode(&[0.6], ctx.max_level()),
-        &keys.public,
-        &mut rng,
-    );
+    let mut ct = ctx.encrypt(&ctx.encode(&[0.6], ctx.max_level()), &keys.public, &mut rng);
     while ct.level() > 0 {
-        ct = ev.rescale(&ev.mul(&ct, &ct, &keys.evaluation));
+        ct = ev
+            .rescale(&ev.mul(&ct, &ct, &keys.evaluation).unwrap())
+            .unwrap();
         assert_eq!(ct.scale(), ctx.chain().scale_at(ct.level()));
         assert_eq!(ct.moduli(), ctx.chain().moduli_at(ct.level()));
     }
