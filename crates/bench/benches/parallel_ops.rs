@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the residue-parallel execution engine:
+//! the hot evaluator operations at N ∈ {4096, 8192} crossed with worker
+//! counts {1, 4} (`BpThreadPool`).
+
+use bp_ckks::{BpThreadPool, CkksContext, CkksParams, KeySet, Representation, SecurityLevel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::sync::Arc;
+
+fn setup(log_n: u32, threads: usize) -> (CkksContext, KeySet) {
+    let params = CkksParams::builder()
+        .log_n(log_n)
+        .word_bits(28)
+        .representation(Representation::BitPacker)
+        .security(SecurityLevel::Insecure)
+        .levels(4, 40)
+        .base_modulus_bits(50)
+        .build()
+        .expect("params");
+    let ctx =
+        CkksContext::with_threads(&params, Arc::new(BpThreadPool::new(threads))).expect("context");
+    let mut rng = ChaCha20Rng::seed_from_u64(99);
+    let mut keys = ctx.keygen(&mut rng);
+    ctx.gen_rotation_keys(&mut keys, &[1], &mut rng);
+    (ctx, keys)
+}
+
+fn bench_parallel_ops(c: &mut Criterion) {
+    for log_n in [12u32, 13] {
+        let n = 1usize << log_n;
+        for threads in [1usize, 4] {
+            let (ctx, keys) = setup(log_n, threads);
+            let mut rng = ChaCha20Rng::seed_from_u64(7);
+            let vals: Vec<f64> = (0..ctx.params().slots())
+                .map(|i| (i as f64).sin() / 2.0)
+                .collect();
+            let ct = ctx.encrypt(&ctx.encode(&vals, ctx.max_level()), &keys.public, &mut rng);
+            let ev = ctx.evaluator();
+            let id = format!("t{threads}");
+
+            let mut g = c.benchmark_group(format!("ntt_roundtrip/n{n}"));
+            g.sample_size(10);
+            let mut poly = ct.c0().clone();
+            g.bench_function(BenchmarkId::from_parameter(&id), |b| {
+                b.iter(|| {
+                    poly.to_coeff();
+                    poly.to_ntt();
+                })
+            });
+            g.finish();
+
+            let mut g = c.benchmark_group(format!("mul_relin_rescale/n{n}"));
+            g.sample_size(10);
+            g.bench_function(BenchmarkId::from_parameter(&id), |b| {
+                b.iter(|| {
+                    let prod = ev.mul(&ct, &ct, &keys.evaluation).expect("aligned");
+                    ev.rescale(&prod).expect("levels left")
+                })
+            });
+            g.finish();
+
+            let mut g = c.benchmark_group(format!("rotate/n{n}"));
+            g.sample_size(10);
+            g.bench_function(BenchmarkId::from_parameter(&id), |b| {
+                b.iter(|| ev.rotate(&ct, 1, &keys.evaluation).expect("key exists"))
+            });
+            g.finish();
+
+            let mut g = c.benchmark_group(format!("adjust/n{n}"));
+            g.sample_size(10);
+            g.bench_function(BenchmarkId::from_parameter(&id), |b| {
+                b.iter(|| ev.adjust_to(&ct, ctx.max_level() - 1).expect("level > 0"))
+            });
+            g.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_parallel_ops);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Machine-readable CPU benchmark emitter.
+//!
+//! Times the hot evaluator operations (`ntt`, ciphertext
+//! `mul + relinearize + rescale`, `rotate`, `adjust`) at N ∈ {4096, 8192}
+//! and thread counts {1, 4}, and writes the medians to `BENCH_cpu.json` so
+//! successive PRs have a perf trajectory to compare against. Run with
+//! `--release`:
+//!
+//! ```text
+//! cargo run --release -p bp-bench --bin bench_json [-- output.json]
+//! ```
+
+use bp_ckks::{BpThreadPool, CkksContext, CkksParams, KeySet, Representation, SecurityLevel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SAMPLES: usize = 7;
+const THREAD_CONFIGS: [usize; 2] = [1, 4];
+
+struct Record {
+    op: &'static str,
+    n: usize,
+    threads: usize,
+    median_us: f64,
+}
+
+fn median_us(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    samples[samples.len() / 2]
+}
+
+fn time_op<F: FnMut()>(mut f: F) -> f64 {
+    // One warm-up call outside measurement.
+    f();
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    median_us(&mut samples)
+}
+
+fn setup(log_n: u32, threads: usize) -> (CkksContext, KeySet) {
+    let params = CkksParams::builder()
+        .log_n(log_n)
+        .word_bits(28)
+        .representation(Representation::BitPacker)
+        .security(SecurityLevel::Insecure)
+        .levels(4, 40)
+        .base_modulus_bits(50)
+        .build()
+        .expect("params");
+    let ctx =
+        CkksContext::with_threads(&params, Arc::new(BpThreadPool::new(threads))).expect("context");
+    let mut rng = ChaCha20Rng::seed_from_u64(99);
+    let mut keys = ctx.keygen(&mut rng);
+    ctx.gen_rotation_keys(&mut keys, &[1], &mut rng);
+    (ctx, keys)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cpu.json".to_string());
+    let mut records: Vec<Record> = Vec::new();
+
+    for log_n in [12u32, 13] {
+        let n = 1usize << log_n;
+        for threads in THREAD_CONFIGS {
+            eprintln!("[bench_json] N = {n}, threads = {threads}");
+            let (ctx, keys) = setup(log_n, threads);
+            let mut rng = ChaCha20Rng::seed_from_u64(7);
+            let vals: Vec<f64> = (0..ctx.params().slots())
+                .map(|i| (i as f64).sin() / 2.0)
+                .collect();
+            let ct = ctx.encrypt(&ctx.encode(&vals, ctx.max_level()), &keys.public, &mut rng);
+            let ev = ctx.evaluator();
+
+            let mut ntt_poly = ct.c0().clone();
+            records.push(Record {
+                op: "ntt_roundtrip",
+                n,
+                threads,
+                median_us: time_op(|| {
+                    ntt_poly.to_coeff();
+                    ntt_poly.to_ntt();
+                }),
+            });
+            records.push(Record {
+                op: "mul_relin_rescale",
+                n,
+                threads,
+                median_us: time_op(|| {
+                    let prod = ev.mul(&ct, &ct, &keys.evaluation).expect("aligned");
+                    std::hint::black_box(ev.rescale(&prod).expect("levels left"));
+                }),
+            });
+            records.push(Record {
+                op: "rotate",
+                n,
+                threads,
+                median_us: time_op(|| {
+                    std::hint::black_box(ev.rotate(&ct, 1, &keys.evaluation).expect("key exists"));
+                }),
+            });
+            records.push(Record {
+                op: "adjust",
+                n,
+                threads,
+                median_us: time_op(|| {
+                    std::hint::black_box(
+                        ev.adjust_to(&ct, ctx.max_level() - 1).expect("level > 0"),
+                    );
+                }),
+            });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bitpacker-cpu-bench/v1\",\n");
+    let _ = writeln!(json, "  \"samples_per_op\": {SAMPLES},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"op\": \"{}\", \"n\": {}, \"threads\": {}, \"median_us\": {:.1}}}{}",
+            r.op, r.n, r.threads, r.median_us, comma
+        );
+    }
+    json.push_str("  ],\n  \"speedups\": {\n");
+    // threads=4 vs threads=1 speedup per (op, n) when both exist.
+    let mut lines = Vec::new();
+    for r in &records {
+        if r.threads != 1 {
+            continue;
+        }
+        if let Some(par) = records
+            .iter()
+            .find(|p| p.op == r.op && p.n == r.n && p.threads == 4)
+        {
+            lines.push(format!(
+                "    \"{}_n{}_t4_vs_t1\": {:.2}",
+                r.op,
+                r.n,
+                r.median_us / par.median_us
+            ));
+        }
+    }
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_cpu.json");
+    println!("{json}");
+    println!("[bench_json] wrote {out_path}");
+}

@@ -55,8 +55,9 @@ impl Ciphertext {
         &self.noise
     }
 
-    /// The residue moduli currently backing the ciphertext.
-    pub fn moduli(&self) -> Vec<u64> {
+    /// The residue moduli currently backing the ciphertext (borrowed; no
+    /// per-call allocation).
+    pub fn moduli(&self) -> &[u64] {
         self.c0.moduli()
     }
 

@@ -1,6 +1,6 @@
 //! The CKKS context: parameters, chain, encoder, pool, and key management.
 
-use crate::chain::{ChainError, ModulusChain};
+use crate::chain::{ChainError, ConverterCache, ModulusChain};
 use crate::ciphertext::Ciphertext;
 use crate::encoding::{Encoder, Plaintext};
 use crate::error::EvalError;
@@ -11,7 +11,7 @@ use crate::params::CkksParams;
 use crate::sampling;
 use bp_math::crt::{centered_to_f64, crt_reconstruct};
 use bp_math::FactoredScale;
-use bp_rns::{PrimePool, RnsPoly};
+use bp_rns::{BpThreadPool, PrimePool, RnsPoly};
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -72,6 +72,7 @@ pub struct CkksContext {
     pool: Arc<PrimePool>,
     chain: ModulusChain,
     encoder: Encoder,
+    converters: ConverterCache,
 }
 
 impl CkksContext {
@@ -84,6 +85,21 @@ impl CkksContext {
     /// wider accelerator words can still be built directly via
     /// [`ModulusChain::new`] for modeling purposes).
     pub fn new(params: &CkksParams) -> Result<Self, ContextError> {
+        Self::with_threads(params, BpThreadPool::global())
+    }
+
+    /// Builds a context with an explicit parallel executor instead of the
+    /// process-wide default. Every residue-level loop reached from this
+    /// context (NTTs, elementwise ops, basis conversions, keyswitching)
+    /// fans out on `threads`; results are bit-identical at any worker
+    /// count.
+    ///
+    /// # Errors
+    /// Same as [`CkksContext::new`].
+    pub fn with_threads(
+        params: &CkksParams,
+        threads: Arc<BpThreadPool>,
+    ) -> Result<Self, ContextError> {
         if params.word_bits() > 61 {
             return Err(ContextError::Unsupported(format!(
                 "word size {} > 61 bits: software moduli must stay below 2^61 \
@@ -94,9 +110,10 @@ impl CkksContext {
         let chain = ModulusChain::new(params)?;
         Ok(Self {
             params: params.clone(),
-            pool: Arc::new(PrimePool::new(params.n())),
+            pool: Arc::new(PrimePool::with_threads(params.n(), threads)),
             chain,
             encoder: Encoder::new(params.n()),
+            converters: ConverterCache::new(),
         })
     }
 
@@ -113,6 +130,16 @@ impl CkksContext {
     /// The shared NTT-table pool.
     pub fn pool(&self) -> &PrimePool {
         &self.pool
+    }
+
+    /// The parallel executor residue loops fan out on.
+    pub fn threads(&self) -> &Arc<BpThreadPool> {
+        self.pool.threads()
+    }
+
+    /// The context-wide basis-converter cache (keyswitch hot path).
+    pub(crate) fn converters(&self) -> &ConverterCache {
+        &self.converters
     }
 
     /// The encoder.
@@ -203,13 +230,13 @@ impl CkksContext {
         let mut poly = pt.poly.clone();
         poly.to_coeff();
         let moduli = poly.moduli();
-        let q = bp_math::BigUint::product_of(&moduli);
+        let q = bp_math::BigUint::product_of(moduli);
         let n = poly.n();
         let scale = pt.scale.to_f64();
         let mut coeffs = vec![0i128; n];
         for (i, c) in coeffs.iter_mut().enumerate() {
             let residues: Vec<u64> = poly.residues().iter().map(|r| r.coeffs()[i]).collect();
-            let wide = crt_reconstruct(&residues, &moduli);
+            let wide = crt_reconstruct(&residues, moduli);
             // Values fit in f64 range after centering; i128 keeps enough
             // precision for the encoder's unembed.
             let centered = centered_to_f64(&wide, &q);
@@ -315,7 +342,7 @@ impl CkksContext {
     pub fn decrypt_unchecked(&self, ct: &Ciphertext, sk: &SecretKey) -> Plaintext {
         let basis = ct.moduli();
         let s =
-            sk.s.restricted(&basis)
+            sk.s.restricted(basis)
                 .expect("secret key covers every chain level");
         let mut m = ct
             .c1

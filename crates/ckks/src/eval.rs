@@ -19,9 +19,9 @@ use crate::encoding::Plaintext;
 use crate::error::EvalError;
 use crate::keys::{galois_element, EvaluationKey, KeySwitchKey};
 use crate::levels;
-use bp_rns::basis::BasisConverter;
-use bp_rns::rescale::scale_down;
-use bp_rns::{Domain, RnsPoly};
+use bp_rns::rescale::scale_down_with_converter;
+use bp_rns::{Domain, ResiduePoly, RnsPoly};
+use std::borrow::Cow;
 use std::cell::Cell;
 
 /// How the evaluator treats misaligned operands (different levels or
@@ -107,8 +107,29 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Checks level+scale alignment; under AutoAlign returns repaired
-    /// clones, under Strict a typed error.
-    fn align(&self, a: &Ciphertext, b: &Ciphertext) -> Result<(Ciphertext, Ciphertext), EvalError> {
+    /// clones, under Strict a typed error. Already-aligned operands (the
+    /// common Strict path) are returned borrowed — no clone.
+    fn align<'c>(
+        &self,
+        a: &'c Ciphertext,
+        b: &'c Ciphertext,
+    ) -> Result<(Cow<'c, Ciphertext>, Cow<'c, Ciphertext>), EvalError> {
+        if a.level == b.level && a.scale == b.scale {
+            return Ok((Cow::Borrowed(a), Cow::Borrowed(b)));
+        }
+        if self.policy == EvalPolicy::Strict {
+            return Err(if a.level != b.level {
+                EvalError::LevelMismatch {
+                    left: a.level,
+                    right: b.level,
+                }
+            } else {
+                EvalError::ScaleMismatch {
+                    left_log2: a.scale.log2(),
+                    right_log2: b.scale.log2(),
+                }
+            });
+        }
         let mut a = a.clone();
         let mut b = b.clone();
         // Each pass fixes one misalignment; two passes cover the worst
@@ -117,20 +138,7 @@ impl<'a> Evaluator<'a> {
         // extra round.
         for _ in 0..4 {
             if a.level == b.level && a.scale == b.scale {
-                return Ok((a, b));
-            }
-            if self.policy == EvalPolicy::Strict {
-                return Err(if a.level != b.level {
-                    EvalError::LevelMismatch {
-                        left: a.level,
-                        right: b.level,
-                    }
-                } else {
-                    EvalError::ScaleMismatch {
-                        left_log2: a.scale.log2(),
-                        right_log2: b.scale.log2(),
-                    }
-                });
+                return Ok((Cow::Owned(a), Cow::Owned(b)));
             }
             if a.level != b.level {
                 let target = a.level.min(b.level);
@@ -172,14 +180,15 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Aligns only the levels of two operands (scales are allowed to
-    /// differ, as in multiplication).
-    fn align_levels(
+    /// differ, as in multiplication). Already-aligned operands are
+    /// returned borrowed — no clone.
+    fn align_levels<'c>(
         &self,
-        a: &Ciphertext,
-        b: &Ciphertext,
-    ) -> Result<(Ciphertext, Ciphertext), EvalError> {
+        a: &'c Ciphertext,
+        b: &'c Ciphertext,
+    ) -> Result<(Cow<'c, Ciphertext>, Cow<'c, Ciphertext>), EvalError> {
         if a.level == b.level {
-            return Ok((a.clone(), b.clone()));
+            return Ok((Cow::Borrowed(a), Cow::Borrowed(b)));
         }
         if self.policy == EvalPolicy::Strict {
             return Err(EvalError::LevelMismatch {
@@ -193,14 +202,19 @@ impl<'a> Evaluator<'a> {
         let hi = if a.level > b.level { &mut a } else { &mut b };
         levels::adjust_to(hi, self.chain(), self.ctx.pool(), target)?;
         self.repairs.adjusts.set(self.repairs.adjusts.get() + 1);
-        Ok((a, b))
+        Ok((Cow::Owned(a), Cow::Owned(b)))
     }
 
     /// Aligns a ciphertext to a plaintext's level (only downward adjusts
     /// are possible — the plaintext cannot be moved without re-encoding).
-    fn align_to_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+    /// Matching levels return the ciphertext borrowed — no clone.
+    fn align_to_plain<'c>(
+        &self,
+        a: &'c Ciphertext,
+        pt: &Plaintext,
+    ) -> Result<Cow<'c, Ciphertext>, EvalError> {
         if a.level == pt.level {
-            return Ok(a.clone());
+            return Ok(Cow::Borrowed(a));
         }
         if self.policy == EvalPolicy::Strict || a.level < pt.level {
             return Err(EvalError::PlaintextLevelMismatch {
@@ -211,7 +225,7 @@ impl<'a> Evaluator<'a> {
         let mut a = a.clone();
         levels::adjust_to(&mut a, self.chain(), self.ctx.pool(), pt.level)?;
         self.repairs.adjusts.set(self.repairs.adjusts.get() + 1);
-        Ok(a)
+        Ok(Cow::Owned(a))
     }
 
     /// Homomorphic elementwise addition.
@@ -305,13 +319,14 @@ impl<'a> Evaluator<'a> {
         let (a, b) = self.align_levels(a, b)?;
         let d0 = a.c0.mul(&b.c0)?;
         let mut d1 = a.c0.mul(&b.c1)?;
-        d1.add_assign(&a.c1.mul(&b.c0)?)?;
+        // Fused: d1 += c1·c0' in one traversal, no product temporary.
+        d1.mul_add_assign(&a.c1, &b.c0)?;
         let d2 = a.c1.mul(&b.c1)?;
         let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin)?;
         let n = self.ctx.params().n();
         Ok(Ciphertext::new(
-            d0.add(&ks_b)?,
-            d1.add(&ks_a)?,
+            d0.add_owned(&ks_b)?,
+            d1.add_owned(&ks_a)?,
             a.level,
             a.scale.mul(&b.scale),
             a.noise.mul(&b.noise).keyswitch(n),
@@ -325,13 +340,14 @@ impl<'a> Evaluator<'a> {
     pub fn square(&self, a: &Ciphertext, ek: &EvaluationKey) -> Result<Ciphertext, EvalError> {
         let d0 = a.c0.mul(&a.c0)?;
         let mut d1 = a.c0.mul(&a.c1)?;
-        d1.add_assign(&d1.clone())?;
+        // 2·(c0·c1) via a scalar pass — no self-clone, no add traversal.
+        d1.mul_scalar_u64(2);
         let d2 = a.c1.mul(&a.c1)?;
         let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin)?;
         let n = self.ctx.params().n();
         Ok(Ciphertext::new(
-            d0.add(&ks_b)?,
-            d1.add(&ks_a)?,
+            d0.add_owned(&ks_b)?,
+            d1.add_owned(&ks_a)?,
             a.level,
             a.scale.square(),
             a.noise.mul(&a.noise).keyswitch(n),
@@ -369,7 +385,7 @@ impl<'a> Evaluator<'a> {
         let c1t = rot(&a.c1)?;
         let (ks_b, ks_a) = self.apply_ksk(&c1t, key)?;
         Ok(Ciphertext::new(
-            c0t.add(&ks_b)?,
+            c0t.add_owned(&ks_b)?,
             ks_a,
             a.level,
             a.scale.clone(),
@@ -439,7 +455,7 @@ impl<'a> Evaluator<'a> {
         let c1t = rot(&a.c1)?;
         let (ks_b, ks_a) = self.apply_ksk(&c1t, key)?;
         Ok(Ciphertext::new(
-            c0t.add(&ks_b)?,
+            c0t.add_owned(&ks_b)?,
             ks_a,
             a.level,
             a.scale.clone(),
@@ -485,9 +501,9 @@ impl<'a> Evaluator<'a> {
     ) -> Result<(RnsPoly, RnsPoly), EvalError> {
         let pool = self.ctx.pool();
         let active = d.moduli();
-        let special = self.chain().special().to_vec();
-        let mut f_l = active.clone();
-        f_l.extend_from_slice(&special);
+        let special = self.chain().special();
+        let mut f_l = active.to_vec();
+        f_l.extend_from_slice(special);
 
         let mut acc_b = RnsPoly::zero(pool, &f_l, Domain::Ntt);
         let mut acc_a = RnsPoly::zero(pool, &f_l, Domain::Ntt);
@@ -505,36 +521,47 @@ impl<'a> Evaluator<'a> {
             let src = d.restricted(&c_j)?;
             let rest: Vec<u64> = f_l.iter().copied().filter(|q| !c_j.contains(q)).collect();
             let ext = if rest.is_empty() {
-                src.clone()
+                src
             } else {
-                let src_tables: Vec<_> = c_j.iter().map(|&q| pool.table(q)).collect();
-                let dst_tables: Vec<_> = rest.iter().map(|&q| pool.table(q)).collect();
-                let conv = BasisConverter::new(&src_tables, &dst_tables)?;
-                let mut converted = conv.convert_from(src.residues(), Domain::Ntt, Domain::Ntt)?;
+                let conv = self.ctx.converters().get(pool, &c_j, &rest)?;
+                let converted = conv.convert_from(src.residues(), Domain::Ntt, Domain::Ntt)?;
                 // Assemble in f_l order: originals where present, converted
-                // otherwise.
+                // otherwise. Option slots let every residue move exactly
+                // once — no clones, no zero-filled placeholders.
+                let mut src_slots: Vec<Option<ResiduePoly>> =
+                    src.into_residues().into_iter().map(Some).collect();
+                let mut conv_slots: Vec<Option<ResiduePoly>> =
+                    converted.into_iter().map(Some).collect();
                 let mut residues = Vec::with_capacity(f_l.len());
                 for &q in &f_l {
-                    if let Some(pos) = c_j.iter().position(|&c| c == q) {
-                        residues.push(src.residue(pos).clone());
+                    let r = if let Some(pos) = c_j.iter().position(|&c| c == q) {
+                        src_slots[pos]
+                            .take()
+                            .expect("each source residue is used exactly once")
                     } else {
                         let pos = rest.iter().position(|&r| r == q).expect("in rest");
-                        residues.push(std::mem::replace(
-                            &mut converted[pos],
-                            bp_rns::ResiduePoly::zero(pool.table(q)),
-                        ));
-                    }
+                        conv_slots[pos]
+                            .take()
+                            .expect("each converted residue is used exactly once")
+                    };
+                    residues.push(r);
                 }
                 RnsPoly::from_residues(Domain::Ntt, residues)?
             };
             let kb = digit.b.restricted(&f_l)?;
             let ka = digit.a.restricted(&f_l)?;
-            acc_b.add_assign(&ext.mul(&kb)?)?;
-            acc_a.add_assign(&ext.mul(&ka)?)?;
+            // Fused multiply-accumulate: one traversal per accumulator, no
+            // product temporaries.
+            acc_b.mul_add_assign(&ext, &kb)?;
+            acc_a.mul_add_assign(&ext, &ka)?;
         }
 
-        scale_down(&mut acc_b, &special)?;
-        scale_down(&mut acc_a, &special)?;
+        // Mod-down by the special primes, reusing the cached P → Q_ℓ
+        // converter (extracting `special` from `f_l` leaves exactly
+        // `active`, in order).
+        let conv = self.ctx.converters().get(pool, special, active)?;
+        scale_down_with_converter(&mut acc_b, special, &conv)?;
+        scale_down_with_converter(&mut acc_a, special, &conv)?;
         Ok((acc_b, acc_a))
     }
 }

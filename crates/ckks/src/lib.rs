@@ -66,7 +66,8 @@ mod sampling;
 mod security;
 pub mod wire;
 
-pub use chain::{ChainError, LevelInfo, ModulusChain};
+pub use bp_rns::BpThreadPool;
+pub use chain::{ChainError, ConverterCache, LevelInfo, ModulusChain};
 pub use ciphertext::Ciphertext;
 pub use context::{CkksContext, ContextError, KeySet};
 pub use encoding::{Encoder, Plaintext};

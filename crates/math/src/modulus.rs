@@ -221,15 +221,74 @@ impl Modulus {
 
     /// Multiplies `a` by a fixed `w` given its Shoup precomputation
     /// `w_shoup = ⌊w·2^64 / q⌋`. Roughly 2× faster than [`Modulus::mul`].
+    ///
+    /// `a` may be *any* `u64` (in particular, a lazily-reduced value in
+    /// `[0, 2q)`): with `w < q` the raw Shoup remainder lands in `[0, 2q)`
+    /// for every 64-bit `a`, and since `2q < 2^63` a single conditional
+    /// subtraction fully reduces it. The result is always in `[0, q)`.
     #[inline]
     pub fn mul_shoup(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
-        debug_assert!(a < self.q && w < self.q);
-        let hi = ((a as u128 * w_shoup as u128) >> 64) as u64;
-        let r = a.wrapping_mul(w).wrapping_sub(hi.wrapping_mul(self.q));
+        let r = self.mul_shoup_lazy(a, w, w_shoup);
         if r >= self.q {
             r - self.q
         } else {
             r
+        }
+    }
+
+    /// Lazy Shoup multiplication: same inputs as [`Modulus::mul_shoup`] but
+    /// skips the final conditional subtraction, returning a value in
+    /// `[0, 2q)` that is congruent to `a·w mod q`.
+    ///
+    /// Correctness for arbitrary `a < 2^64`: with `hi = ⌊a·w_shoup / 2^64⌋`
+    /// and `w_shoup = ⌊w·2^64 / q⌋`, the estimate `hi` satisfies
+    /// `a·w/q − 2 < hi ≤ a·w/q`, so `a·w − hi·q ∈ [0, 2q)`; both sides are
+    /// computed mod 2^64, which preserves the difference exactly.
+    #[inline]
+    pub fn mul_shoup_lazy(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        debug_assert!(w < self.q);
+        let hi = ((a as u128 * w_shoup as u128) >> 64) as u64;
+        a.wrapping_mul(w).wrapping_sub(hi.wrapping_mul(self.q))
+    }
+
+    /// Lazy addition of two values in `[0, 2q)`: returns `a + b` reduced to
+    /// `[0, 2q)` (one conditional subtraction of `2q`). Safe from overflow
+    /// because `q < 2^62` implies `a + b < 4q < 2^64`.
+    #[inline]
+    pub fn add_2q(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < 2 * self.q && b < 2 * self.q);
+        let s = a + b;
+        let two_q = 2 * self.q;
+        if s >= two_q {
+            s - two_q
+        } else {
+            s
+        }
+    }
+
+    /// Lazy subtraction of two values in `[0, 2q)`: returns `a - b` reduced
+    /// to `[0, 2q)`. Computed as `a + 2q - b` (no overflow: `a + 2q < 2^64`
+    /// since `q < 2^62`) with one conditional subtraction of `2q`.
+    #[inline]
+    pub fn sub_2q(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < 2 * self.q && b < 2 * self.q);
+        let two_q = 2 * self.q;
+        let s = a + two_q - b;
+        if s >= two_q {
+            s - two_q
+        } else {
+            s
+        }
+    }
+
+    /// Final reduction of a lazily-reduced value in `[0, 2q)` to `[0, q)`.
+    #[inline]
+    pub fn reduce_2q(&self, a: u64) -> u64 {
+        debug_assert!(a < 2 * self.q);
+        if a >= self.q {
+            a - self.q
+        } else {
+            a
         }
     }
 }
@@ -324,6 +383,53 @@ mod tests {
         fn prop_reduce_u128(q in 2u64..(1u64 << 62), x in any::<u128>()) {
             let m = Modulus::new(q);
             prop_assert_eq!(m.reduce_u128(x) as u128, x % q as u128);
+        }
+
+        #[test]
+        fn prop_mul_shoup_accepts_unreduced_input(
+            q in 2u64..(1u64 << 62),
+            a in any::<u64>(),
+            w in any::<u64>(),
+        ) {
+            let m = Modulus::new(q);
+            let w = w % q;
+            let ws = m.shoup(w);
+            // `a` deliberately unreduced: any u64 must fully reduce.
+            prop_assert_eq!(
+                m.mul_shoup(a, w, ws) as u128,
+                (a as u128 * w as u128) % q as u128
+            );
+        }
+
+        #[test]
+        fn prop_mul_shoup_lazy_in_2q(
+            q in 2u64..(1u64 << 62),
+            a in any::<u64>(),
+            w in any::<u64>(),
+        ) {
+            let m = Modulus::new(q);
+            let w = w % q;
+            let ws = m.shoup(w);
+            let r = m.mul_shoup_lazy(a, w, ws);
+            prop_assert!(r < 2 * q, "lazy result {} out of [0, 2q) for q={}", r, q);
+            prop_assert_eq!(r as u128 % q as u128, (a as u128 * w as u128) % q as u128);
+        }
+
+        #[test]
+        fn prop_lazy_add_sub_congruent(
+            q in 2u64..(1u64 << 62),
+            a in any::<u64>(),
+            b in any::<u64>(),
+        ) {
+            let m = Modulus::new(q);
+            // Inputs anywhere in [0, 2q).
+            let (a, b) = (a % (2 * q), b % (2 * q));
+            let s = m.add_2q(a, b);
+            let d = m.sub_2q(a, b);
+            prop_assert!(s < 2 * q && d < 2 * q);
+            prop_assert_eq!(s % q, (a % q + b % q) % q);
+            prop_assert_eq!(m.reduce_2q(d) , m.sub(a % q, b % q));
+            prop_assert!(m.reduce_2q(s) < q);
         }
     }
 }

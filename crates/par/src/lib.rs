@@ -1,0 +1,259 @@
+//! Deterministic parallel runtime for residue-grain fan-out.
+//!
+//! RNS polynomial arithmetic is embarrassingly parallel across residues:
+//! every residue is processed with *independent* per-index math, so the
+//! result of a loop over residues cannot depend on how the iterations are
+//! distributed over threads. [`BpThreadPool`] exploits exactly that
+//! structure — it partitions an index range into contiguous chunks and runs
+//! them on scoped threads ([`std::thread::scope`]), which gives three
+//! guarantees the FHE pipeline relies on:
+//!
+//! 1. **Bit-identical results for any worker count.** Each index is
+//!    processed by the same closure with the same inputs regardless of the
+//!    chunk it lands in; no reductions, no shared accumulators, no
+//!    floating-point reassociation.
+//! 2. **Zero spawns in sequential mode.** A pool with `workers == 1` (or a
+//!    slice with a single element) runs the loop inline on the calling
+//!    thread — no thread is created, no synchronization happens, and the
+//!    code path is byte-for-byte the classic sequential loop.
+//! 3. **No detached state.** Scoped threads are joined before the call
+//!    returns, and a panic in any worker propagates to the caller, so the
+//!    panic-free-pipeline error contract of the surrounding crates is
+//!    unaffected.
+//!
+//! The worker count is configurable per pool ([`BpThreadPool::new`]), and
+//! the process-wide default ([`BpThreadPool::global`]) honours the
+//! `BITPACKER_THREADS` environment variable, falling back to the machine's
+//! available parallelism.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::{Arc, OnceLock};
+
+/// Upper bound applied to *automatically derived* worker counts
+/// (environment variable or detected parallelism). Explicit
+/// [`BpThreadPool::new`] requests are honoured as given (clamped only to a
+/// minimum of 1) so tests and benchmarks can oversubscribe on purpose.
+const AUTO_WORKER_CAP: usize = 64;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV_VAR: &str = "BITPACKER_THREADS";
+
+/// A deterministic fork-join executor with a fixed worker count.
+///
+/// The pool does not keep persistent worker threads: each parallel call
+/// spawns scoped threads for all chunks but the last (which runs on the
+/// calling thread) and joins them before returning. For the residue-sized
+/// workloads this crate serves (tens of microseconds to milliseconds per
+/// chunk) the spawn cost is noise, and the absence of persistent state
+/// keeps the executor trivially `Send + Sync` and leak-free.
+#[derive(Debug)]
+pub struct BpThreadPool {
+    workers: usize,
+}
+
+impl BpThreadPool {
+    /// Creates a pool that splits work across `workers` threads.
+    /// `workers == 0` is clamped to 1; `workers == 1` is the pure
+    /// sequential executor (parallel calls never spawn).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The sequential executor (`workers == 1`).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Builds a pool from the environment: `BITPACKER_THREADS` if set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    /// Both sources are capped at 64 workers.
+    pub fn from_env() -> Self {
+        if let Ok(v) = std::env::var(THREADS_ENV_VAR) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return Self::new(n.min(AUTO_WORKER_CAP));
+                }
+            }
+        }
+        let detected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(detected.min(AUTO_WORKER_CAP))
+    }
+
+    /// The process-wide default pool, initialized from the environment on
+    /// first use and shared by every context that does not supply its own
+    /// handle.
+    pub fn global() -> Arc<BpThreadPool> {
+        static GLOBAL: OnceLock<Arc<BpThreadPool>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(BpThreadPool::from_env())))
+    }
+
+    /// Number of worker threads this pool fans out to.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(index, &mut item)` for every element of `items`, fanning the
+    /// slice out over the pool's workers in contiguous chunks.
+    ///
+    /// Determinism: each index is visited exactly once with the same
+    /// arguments regardless of the worker count, so any `f` whose effect on
+    /// `items[i]` depends only on `(i, items[i])` and immutable captures
+    /// produces bit-identical results at every thread count.
+    pub fn par_for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let jobs = self.workers.min(items.len());
+        if jobs <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let chunk = items.len().div_ceil(jobs);
+        std::thread::scope(|s| {
+            let mut rest = items;
+            let mut base = 0usize;
+            while rest.len() > chunk {
+                let (head, tail) = rest.split_at_mut(chunk);
+                let fr = &f;
+                s.spawn(move || {
+                    for (off, item) in head.iter_mut().enumerate() {
+                        fr(base + off, item);
+                    }
+                });
+                base += chunk;
+                rest = tail;
+            }
+            // Final chunk runs on the calling thread; the scope joins the
+            // spawned workers (propagating any panic) before returning.
+            for (off, item) in rest.iter_mut().enumerate() {
+                f(base + off, item);
+            }
+        });
+    }
+
+    /// Runs `f(index)` for every index in `0..len` across the pool's
+    /// workers (contiguous chunks). Use when the closure only reads shared
+    /// state or synchronizes internally.
+    pub fn par_for_each<F>(&self, len: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let jobs = self.workers.min(len);
+        if jobs <= 1 {
+            for i in 0..len {
+                f(i);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(jobs);
+        std::thread::scope(|s| {
+            let mut start = 0usize;
+            while start + chunk < len {
+                let end = start + chunk;
+                let fr = &f;
+                s.spawn(move || {
+                    for i in start..end {
+                        fr(i);
+                    }
+                });
+                start = end;
+            }
+            for i in start..len {
+                f(i);
+            }
+        });
+    }
+
+    /// Computes `f(index)` for every index in `0..len` in parallel and
+    /// collects the results in index order. Determinism follows from
+    /// [`BpThreadPool::par_for_each_mut`]: slot `i` always holds `f(i)`.
+    pub fn par_map<U, F>(&self, len: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if self.workers.min(len) <= 1 {
+            return (0..len).map(f).collect();
+        }
+        let mut out: Vec<Option<U>> = (0..len).map(|_| None).collect();
+        self.par_for_each_mut(&mut out, |i, slot| {
+            *slot = Some(f(i));
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every index filled exactly once"))
+            .collect()
+    }
+}
+
+impl Default for BpThreadPool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(BpThreadPool::new(0).workers(), 1);
+        assert_eq!(BpThreadPool::sequential().workers(), 1);
+    }
+
+    #[test]
+    fn par_for_each_mut_visits_every_index_once() {
+        for workers in [1usize, 2, 3, 4, 7, 16] {
+            let pool = BpThreadPool::new(workers);
+            for len in [0usize, 1, 2, 5, 16, 33] {
+                let mut v = vec![0u64; len];
+                pool.par_for_each_mut(&mut v, |i, x| *x += i as u64 + 1);
+                let expect: Vec<u64> = (0..len as u64).map(|i| i + 1).collect();
+                assert_eq!(v, expect, "workers={workers} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_is_bit_identical_across_worker_counts() {
+        let reference: Vec<u64> = (0..97u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let pool = BpThreadPool::new(workers);
+            let got = pool.par_map(97, |i| (i as u64).wrapping_mul(0x9E3779B9));
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_for_each_covers_range() {
+        let pool = BpThreadPool::new(4);
+        let count = AtomicUsize::new(0);
+        pool.par_for_each(1000, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panic propagates")]
+    fn worker_panic_propagates_to_caller() {
+        let pool = BpThreadPool::new(4);
+        let mut v = vec![0u8; 64];
+        pool.par_for_each_mut(&mut v, |i, _| {
+            if i == 63 {
+                panic!("worker panic propagates");
+            }
+        });
+    }
+}

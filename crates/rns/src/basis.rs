@@ -94,6 +94,24 @@ impl BasisConverter {
         &self.p
     }
 
+    /// Whether this converter was built for exactly the given source and
+    /// destination bases (in order). Lets callers reuse memoized
+    /// converters safely.
+    pub fn matches(&self, src: &[u64], dst: &[u64]) -> bool {
+        self.src_tables.len() == src.len()
+            && self.dst_tables.len() == dst.len()
+            && self
+                .src_tables
+                .iter()
+                .zip(src)
+                .all(|(t, &q)| t.modulus().value() == q)
+            && self
+                .dst_tables
+                .iter()
+                .zip(dst)
+                .all(|(t, &q)| t.modulus().value() == q)
+    }
+
     /// Converts source residues (coefficient domain) into the destination
     /// basis (coefficient domain).
     ///
@@ -123,38 +141,34 @@ impl BasisConverter {
                     .collect(),
             });
         }
-        let n = self.src_tables[0].n();
+        let ex = Arc::clone(self.src_tables[0].threads());
 
-        // tᵢ = xᵢ · (P/pᵢ)⁻¹ mod pᵢ
-        let t_vals: Vec<Vec<u64>> = src
-            .iter()
-            .zip(&self.inv_phat)
-            .map(|(r, &(inv, inv_s))| {
-                let m = r.table().modulus();
-                r.coeffs()
-                    .iter()
-                    .map(|&x| m.mul_shoup(x, inv, inv_s))
-                    .collect()
-            })
-            .collect();
+        // tᵢ = xᵢ · (P/pᵢ)⁻¹ mod pᵢ — independent per source residue.
+        let t_vals: Vec<Vec<u64>> = ex.par_map(src.len(), |i| {
+            let r = &src[i];
+            let (inv, inv_s) = self.inv_phat[i];
+            let m = r.table().modulus();
+            r.coeffs()
+                .iter()
+                .map(|&x| m.mul_shoup(x, inv, inv_s))
+                .collect()
+        });
 
-        let out = self
-            .dst_tables
-            .iter()
-            .zip(&self.phat_mod_dst)
-            .map(|(dt, row)| {
-                let m = dt.modulus();
-                let mut out = ResiduePoly::zero(Arc::clone(dt));
-                for (ti, &(ph, ph_s)) in t_vals.iter().zip(row) {
-                    for (acc, &t) in out.coeffs_mut().iter_mut().zip(ti) {
-                        let tr = m.reduce(t);
-                        *acc = m.add(*acc, m.mul_shoup(tr, ph, ph_s));
-                    }
+        // Each destination residue accumulates over all tᵢ — independent
+        // per destination residue.
+        let out = ex.par_map(self.dst_tables.len(), |j| {
+            let dt = &self.dst_tables[j];
+            let row = &self.phat_mod_dst[j];
+            let m = dt.modulus();
+            let mut out = ResiduePoly::zero(Arc::clone(dt));
+            for (ti, &(ph, ph_s)) in t_vals.iter().zip(row) {
+                for (acc, &t) in out.coeffs_mut().iter_mut().zip(ti) {
+                    let tr = m.reduce(t);
+                    *acc = m.add(*acc, m.mul_shoup(tr, ph, ph_s));
                 }
-                let _ = n;
-                out
-            })
-            .collect();
+            }
+            out
+        });
         Ok(out)
     }
 
@@ -170,27 +184,25 @@ impl BasisConverter {
         src_domain: Domain,
         target_domain: Domain,
     ) -> Result<Vec<ResiduePoly>, RnsError> {
+        let ex = Arc::clone(self.src_tables[0].threads());
         let coeff_src: Vec<ResiduePoly>;
         let src_ref: &[ResiduePoly] = if src_domain == Domain::Ntt {
-            coeff_src = src
-                .iter()
-                .map(|r| {
-                    let mut c = r.clone();
-                    let t = Arc::clone(c.table());
-                    t.inverse(c.coeffs_mut());
-                    c
-                })
-                .collect();
+            coeff_src = ex.par_map(src.len(), |i| {
+                let mut c = src[i].clone();
+                let t = Arc::clone(c.table());
+                t.inverse(c.coeffs_mut());
+                c
+            });
             &coeff_src
         } else {
             src
         };
         let mut out = self.convert(src_ref)?;
         if target_domain == Domain::Ntt {
-            for r in &mut out {
+            ex.par_for_each_mut(&mut out, |_, r| {
                 let t = Arc::clone(r.table());
                 t.forward(r.coeffs_mut());
-            }
+            });
         }
         Ok(out)
     }

@@ -9,16 +9,24 @@
 //! reductions.
 
 use bp_math::Modulus;
+use bp_par::BpThreadPool;
+use std::sync::Arc;
 
 /// Precomputed NTT tables for one NTT-friendly prime and one ring degree.
 ///
 /// Construction fails (panics) if the prime does not support a `2N`-th root
 /// of unity, i.e. if `q ≢ 1 (mod 2N)`.
+///
+/// The table also carries the [`BpThreadPool`] handle that polynomial
+/// operations over this prime should fan out on: every `ResiduePoly` holds
+/// an `Arc<NttTable>`, so the table is the natural carrier that propagates
+/// the executor from `PrimePool` down to every residue loop.
 #[derive(Debug, Clone)]
 pub struct NttTable {
     modulus: Modulus,
     n: usize,
     log_n: u32,
+    threads: Arc<BpThreadPool>,
     /// `ψ^j` for `j in 0..n`, with Shoup companions.
     psi_pows: Vec<(u64, u64)>,
     /// `N⁻¹ · ψ^{-j}` for `j in 0..n`, with Shoup companions.
@@ -30,12 +38,22 @@ pub struct NttTable {
 }
 
 impl NttTable {
-    /// Builds tables for modulus `q` and ring degree `n` (a power of two).
+    /// Builds tables for modulus `q` and ring degree `n` (a power of two),
+    /// attached to the process-wide default thread pool.
     ///
     /// # Panics
     /// Panics if `n` is not a power of two, or if `q` is not an NTT-friendly
     /// prime for this `n` (`q ≡ 1 mod 2n` and prime).
     pub fn new(q: u64, n: usize) -> Self {
+        Self::with_threads(q, n, BpThreadPool::global())
+    }
+
+    /// Builds tables for modulus `q` and ring degree `n`, attached to an
+    /// explicit executor handle.
+    ///
+    /// # Panics
+    /// Same conditions as [`NttTable::new`].
+    pub fn with_threads(q: u64, n: usize, threads: Arc<BpThreadPool>) -> Self {
         assert!(n.is_power_of_two(), "ring degree must be a power of two");
         assert!(n >= 2, "ring degree must be at least 2");
         let two_n = 2 * n as u64;
@@ -80,6 +98,7 @@ impl NttTable {
             modulus: m,
             n,
             log_n: n.trailing_zeros(),
+            threads,
             psi_pows: with_shoup(psi_pows),
             inv_psi_pows_n: with_shoup(inv_psi_pows_n),
             omega_pows: with_shoup(omega_pows),
@@ -99,18 +118,31 @@ impl NttTable {
         self.n
     }
 
+    /// The executor handle residue operations over this prime fan out on.
+    #[inline]
+    pub fn threads(&self) -> &Arc<BpThreadPool> {
+        &self.threads
+    }
+
     /// Forward negacyclic NTT, in place. Input and output are in `[0, q)`.
+    ///
+    /// Internally the butterflies run lazily in `[0, 2q)` (Harvey-style):
+    /// `mul_shoup_lazy` accepts unreduced inputs and `add_2q`/`sub_2q` keep
+    /// values below `2q`, so only one final pass reduces to `[0, q)`.
     ///
     /// # Panics
     /// Panics if `a.len() != N`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch");
         let m = &self.modulus;
-        // Pre-scale by psi powers.
+        // Pre-scale by psi powers; outputs may stay in [0, 2q).
         for (x, &(w, ws)) in a.iter_mut().zip(&self.psi_pows) {
-            *x = m.mul_shoup(*x, w, ws);
+            *x = m.mul_shoup_lazy(*x, w, ws);
         }
-        self.cyclic(a, &self.omega_pows);
+        self.cyclic_lazy(a, &self.omega_pows);
+        for x in a.iter_mut() {
+            *x = m.reduce_2q(*x);
+        }
     }
 
     /// Inverse negacyclic NTT, in place.
@@ -120,8 +152,9 @@ impl NttTable {
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch");
         let m = &self.modulus;
-        self.cyclic(a, &self.inv_omega_pows);
-        // Post-scale by N^{-1} psi^{-j}.
+        self.cyclic_lazy(a, &self.inv_omega_pows);
+        // Post-scale by N^{-1} psi^{-j}; mul_shoup fully reduces any u64,
+        // so this pass doubles as the final [0, 2q) -> [0, q) reduction.
         for (x, &(w, ws)) in a.iter_mut().zip(&self.inv_psi_pows_n) {
             *x = m.mul_shoup(*x, w, ws);
         }
@@ -129,7 +162,11 @@ impl NttTable {
 
     /// Iterative radix-2 cyclic NTT with the given twiddle table
     /// (`ω^j` for forward, `ω^{-j}` for inverse).
-    fn cyclic(&self, a: &mut [u64], twiddles: &[(u64, u64)]) {
+    ///
+    /// Lazy reduction: inputs may be anywhere in `[0, 2q)` (or any `u64`
+    /// entering the first multiply), every butterfly keeps values in
+    /// `[0, 2q)`, and outputs are left in `[0, 2q)` — callers reduce.
+    fn cyclic_lazy(&self, a: &mut [u64], twiddles: &[(u64, u64)]) {
         let n = self.n;
         let m = &self.modulus;
         bit_reverse_permute(a, self.log_n);
@@ -141,9 +178,9 @@ impl NttTable {
                 for j in 0..half {
                     let (w, ws) = twiddles[j * step];
                     let u = a[start + j];
-                    let v = m.mul_shoup(a[start + j + half], w, ws);
-                    a[start + j] = m.add(u, v);
-                    a[start + j + half] = m.sub(u, v);
+                    let v = m.mul_shoup_lazy(a[start + j + half], w, ws);
+                    a[start + j] = m.add_2q(u, v);
+                    a[start + j + half] = m.sub_2q(u, v);
                 }
             }
             len <<= 1;
@@ -278,5 +315,22 @@ mod tests {
     #[should_panic(expected = "NTT-friendly")]
     fn rejects_bad_modulus() {
         NttTable::new(97, 1 << 10); // 97 mod 2048 != 1
+    }
+
+    #[test]
+    fn lazy_ntt_outputs_are_fully_reduced() {
+        // The lazy butterflies work in [0, 2q); the public forward/inverse
+        // contract is still canonical [0, q) output.
+        for n in [8usize, 256, 2048] {
+            let t = table(45, n);
+            let q = t.modulus().value();
+            let mut a: Vec<u64> = (0..n as u64)
+                .map(|i| (i.wrapping_mul(0x2545F4914F6CDD1D) ^ 0xABCD) % q)
+                .collect();
+            t.forward(&mut a);
+            assert!(a.iter().all(|&x| x < q), "forward left a value >= q");
+            t.inverse(&mut a);
+            assert!(a.iter().all(|&x| x < q), "inverse left a value >= q");
+        }
     }
 }

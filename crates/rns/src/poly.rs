@@ -1,7 +1,15 @@
 //! RNS polynomials: vectors of residue polynomials mod word-sized primes.
+//!
+//! Residue loops are embarrassingly parallel (each residue's math touches
+//! only that residue), so every multi-residue operation fans out across the
+//! [`BpThreadPool`] carried by the residues' NTT tables. The fan-out is
+//! deterministic: each residue index is processed by the same closure with
+//! the same inputs regardless of the worker count, so results are
+//! bit-identical at any thread setting.
 
 use crate::{NttTable, PrimePool, RnsError};
 use bp_math::BigUint;
+use bp_par::BpThreadPool;
 use std::sync::Arc;
 
 /// Representation domain of a polynomial.
@@ -66,6 +74,9 @@ pub struct RnsPoly {
     n: usize,
     domain: Domain,
     residues: Vec<ResiduePoly>,
+    /// Cached prime basis, kept in lock-step with `residues` so hot paths
+    /// can compare/borrow the basis without allocating.
+    moduli: Vec<u64>,
 }
 
 impl RnsPoly {
@@ -79,6 +90,7 @@ impl RnsPoly {
             n: pool.n(),
             domain,
             residues,
+            moduli: moduli.to_vec(),
         }
     }
 
@@ -104,13 +116,13 @@ impl RnsPoly {
     pub fn from_i128_coeffs(pool: &PrimePool, moduli: &[u64], coeffs: &[i128]) -> Self {
         assert!(coeffs.len() <= pool.n(), "too many coefficients");
         let mut p = Self::zero(pool, moduli, Domain::Coeff);
-        for r in &mut p.residues {
+        p.for_each_residue_mut(|_, r| {
             let q = r.modulus() as i128;
             for (dst, &c) in r.coeffs.iter_mut().zip(coeffs) {
                 let v = c.rem_euclid(q);
                 *dst = v as u64;
             }
-        }
+        });
         p
     }
 
@@ -132,9 +144,11 @@ impl RnsPoly {
         self.residues.len()
     }
 
-    /// The ordered prime basis.
-    pub fn moduli(&self) -> Vec<u64> {
-        self.residues.iter().map(|r| r.modulus()).collect()
+    /// The ordered prime basis (borrowed; maintained alongside the residue
+    /// vector so callers never pay an allocation to inspect it).
+    #[inline]
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
     }
 
     /// Access residue `i`.
@@ -150,13 +164,38 @@ impl RnsPoly {
         &self.residues
     }
 
-    /// Mutable access to all residues.
+    /// Mutable access to the residues' values.
     ///
     /// Callers must preserve the invariant that every residue stays reduced
     /// modulo its prime; this is intended for samplers and test fixtures
-    /// that fill coefficient values directly.
-    pub fn residues_mut(&mut self) -> &mut Vec<ResiduePoly> {
+    /// that fill coefficient values directly. (A slice — not the backing
+    /// `Vec` — so the cached basis cannot drift out of sync.)
+    pub fn residues_mut(&mut self) -> &mut [ResiduePoly] {
         &mut self.residues
+    }
+
+    /// Consumes the polynomial, yielding its residues. The zero-copy
+    /// counterpart of [`RnsPoly::residues`] for callers that reassemble
+    /// polynomials (keyswitch digit decomposition).
+    pub fn into_residues(self) -> Vec<ResiduePoly> {
+        self.residues
+    }
+
+    /// The executor carried by this polynomial's tables, if any residue
+    /// exists.
+    fn executor(&self) -> Option<Arc<BpThreadPool>> {
+        self.residues.first().map(|r| Arc::clone(r.table.threads()))
+    }
+
+    /// Runs `f(index, residue)` over every residue, in parallel when the
+    /// attached executor has more than one worker.
+    fn for_each_residue_mut<F>(&mut self, f: F)
+    where
+        F: Fn(usize, &mut ResiduePoly) + Sync,
+    {
+        if let Some(ex) = self.executor() {
+            ex.par_for_each_mut(&mut self.residues, f);
+        }
     }
 
     /// Converts to NTT domain (no-op if already there).
@@ -164,10 +203,10 @@ impl RnsPoly {
         if self.domain == Domain::Ntt {
             return;
         }
-        for r in &mut self.residues {
+        self.for_each_residue_mut(|_, r| {
             let table = Arc::clone(&r.table);
             table.forward(&mut r.coeffs);
-        }
+        });
         self.domain = Domain::Ntt;
     }
 
@@ -176,10 +215,10 @@ impl RnsPoly {
         if self.domain == Domain::Coeff {
             return;
         }
-        for r in &mut self.residues {
+        self.for_each_residue_mut(|_, r| {
             let table = Arc::clone(&r.table);
             table.inverse(&mut r.coeffs);
-        }
+        });
         self.domain = Domain::Coeff;
     }
 
@@ -196,10 +235,10 @@ impl RnsPoly {
                 right: other.domain,
             });
         }
-        if self.moduli() != other.moduli() {
+        if self.moduli != other.moduli {
             return Err(RnsError::BasisMismatch {
-                left: self.moduli(),
-                right: other.moduli(),
+                left: self.moduli.clone(),
+                right: other.moduli.clone(),
             });
         }
         Ok(())
@@ -210,9 +249,17 @@ impl RnsPoly {
     /// # Errors
     /// [`RnsError`] if the operands are not layout-compatible.
     pub fn add(&self, other: &Self) -> Result<Self, RnsError> {
-        let mut out = self.clone();
-        out.add_assign(other)?;
-        Ok(out)
+        self.clone().add_owned(other)
+    }
+
+    /// By-value elementwise sum: reuses `self`'s buffers instead of
+    /// cloning.
+    ///
+    /// # Errors
+    /// [`RnsError`] if the operands are not layout-compatible.
+    pub fn add_owned(mut self, other: &Self) -> Result<Self, RnsError> {
+        self.add_assign(other)?;
+        Ok(self)
     }
 
     /// In-place elementwise sum.
@@ -221,12 +268,13 @@ impl RnsPoly {
     /// [`RnsError`] if the operands are not layout-compatible.
     pub fn add_assign(&mut self, other: &Self) -> Result<(), RnsError> {
         self.check_compatible(other)?;
-        for (a, b) in self.residues.iter_mut().zip(&other.residues) {
+        let rhs = other.residues.as_slice();
+        self.for_each_residue_mut(|i, a| {
             let m = *a.table.modulus();
-            for (x, &y) in a.coeffs.iter_mut().zip(&b.coeffs) {
+            for (x, &y) in a.coeffs.iter_mut().zip(&rhs[i].coeffs) {
                 *x = m.add(*x, y);
             }
-        }
+        });
         Ok(())
     }
 
@@ -235,9 +283,16 @@ impl RnsPoly {
     /// # Errors
     /// [`RnsError`] if the operands are not layout-compatible.
     pub fn sub(&self, other: &Self) -> Result<Self, RnsError> {
-        let mut out = self.clone();
-        out.sub_assign(other)?;
-        Ok(out)
+        self.clone().sub_owned(other)
+    }
+
+    /// By-value elementwise difference: reuses `self`'s buffers.
+    ///
+    /// # Errors
+    /// [`RnsError`] if the operands are not layout-compatible.
+    pub fn sub_owned(mut self, other: &Self) -> Result<Self, RnsError> {
+        self.sub_assign(other)?;
+        Ok(self)
     }
 
     /// In-place elementwise difference.
@@ -246,12 +301,13 @@ impl RnsPoly {
     /// [`RnsError`] if the operands are not layout-compatible.
     pub fn sub_assign(&mut self, other: &Self) -> Result<(), RnsError> {
         self.check_compatible(other)?;
-        for (a, b) in self.residues.iter_mut().zip(&other.residues) {
+        let rhs = other.residues.as_slice();
+        self.for_each_residue_mut(|i, a| {
             let m = *a.table.modulus();
-            for (x, &y) in a.coeffs.iter_mut().zip(&b.coeffs) {
+            for (x, &y) in a.coeffs.iter_mut().zip(&rhs[i].coeffs) {
                 *x = m.sub(*x, y);
             }
-        }
+        });
         Ok(())
     }
 
@@ -259,12 +315,12 @@ impl RnsPoly {
     #[must_use]
     pub fn neg(&self) -> Self {
         let mut out = self.clone();
-        for r in &mut out.residues {
+        out.for_each_residue_mut(|_, r| {
             let m = *r.table.modulus();
             for x in &mut r.coeffs {
                 *x = m.neg(*x);
             }
-        }
+        });
         out
     }
 
@@ -274,9 +330,17 @@ impl RnsPoly {
     /// [`RnsError::WrongDomain`] if either operand is in coefficient
     /// domain; [`RnsError`] if layouts differ.
     pub fn mul(&self, other: &Self) -> Result<Self, RnsError> {
-        let mut out = self.clone();
-        out.mul_assign(other)?;
-        Ok(out)
+        self.clone().mul_owned(other)
+    }
+
+    /// By-value polynomial product (NTT domain): reuses `self`'s buffers.
+    ///
+    /// # Errors
+    /// [`RnsError`] if either operand is in coefficient domain or layouts
+    /// differ.
+    pub fn mul_owned(mut self, other: &Self) -> Result<Self, RnsError> {
+        self.mul_assign(other)?;
+        Ok(self)
     }
 
     /// In-place polynomial product (NTT domain).
@@ -293,12 +357,42 @@ impl RnsPoly {
             });
         }
         self.check_compatible(other)?;
-        for (a, b) in self.residues.iter_mut().zip(&other.residues) {
+        let rhs = other.residues.as_slice();
+        self.for_each_residue_mut(|i, a| {
             let m = *a.table.modulus();
-            for (x, &y) in a.coeffs.iter_mut().zip(&b.coeffs) {
+            for (x, &y) in a.coeffs.iter_mut().zip(&rhs[i].coeffs) {
                 *x = m.mul(*x, y);
             }
+        });
+        Ok(())
+    }
+
+    /// Fused multiply-accumulate: `self += x * y`, all three in NTT domain.
+    ///
+    /// One traversal instead of a product allocation plus an add pass —
+    /// the keyswitch inner loop (`acc += ext * key`) is built on this.
+    ///
+    /// # Errors
+    /// [`RnsError`] if any operand is in coefficient domain or layouts
+    /// differ.
+    pub fn mul_add_assign(&mut self, x: &Self, y: &Self) -> Result<(), RnsError> {
+        if self.domain != Domain::Ntt {
+            return Err(RnsError::WrongDomain {
+                op: "mul_add",
+                found: self.domain,
+                required: Domain::Ntt,
+            });
         }
+        self.check_compatible(x)?;
+        self.check_compatible(y)?;
+        let xs = x.residues.as_slice();
+        let ys = y.residues.as_slice();
+        self.for_each_residue_mut(|i, acc| {
+            let m = *acc.table.modulus();
+            for ((a, &xv), &yv) in acc.coeffs.iter_mut().zip(&xs[i].coeffs).zip(&ys[i].coeffs) {
+                *a = m.mul_add(xv, yv, *a);
+            }
+        });
         Ok(())
     }
 
@@ -316,28 +410,28 @@ impl RnsPoly {
                 found: consts.len(),
             });
         }
-        for (r, &c) in self.residues.iter_mut().zip(consts) {
+        self.for_each_residue_mut(|i, r| {
             let m = *r.table.modulus();
-            let c = m.reduce(c);
+            let c = m.reduce(consts[i]);
             let cs = m.shoup(c);
             for x in &mut r.coeffs {
                 *x = m.mul_shoup(*x, c, cs);
             }
-        }
+        });
         Ok(())
     }
 
     /// Multiplies every residue by a (wide) integer constant, reducing it per
     /// modulus first. This is `mulConst` in the paper's listings.
     pub fn mul_biguint(&mut self, k: &BigUint) {
-        let consts: Vec<u64> = self.moduli().iter().map(|&q| k.rem_u64(q)).collect();
+        let consts: Vec<u64> = self.moduli.iter().map(|&q| k.rem_u64(q)).collect();
         self.mul_scalar_per_residue(&consts)
             .expect("constant list built from own moduli");
     }
 
     /// Multiplies every residue by the same small scalar.
     pub fn mul_scalar_u64(&mut self, c: u64) {
-        let consts: Vec<u64> = self.moduli().iter().map(|&q| c % q).collect();
+        let consts: Vec<u64> = self.moduli.iter().map(|&q| c % q).collect();
         self.mul_scalar_per_residue(&consts)
             .expect("constant list built from own moduli");
     }
@@ -361,21 +455,33 @@ impl RnsPoly {
         }
         let n = self.n;
         let two_n = 2 * n;
-        let mut out = self.clone();
-        for (src, dst) in self.residues.iter().zip(out.residues.iter_mut()) {
-            let m = *src.table.modulus();
-            let mut new = vec![0u64; n];
-            for (i, &c) in src.coeffs.iter().enumerate() {
-                let j = (i * t) % two_n;
-                if j < n {
-                    new[j] = c;
-                } else {
-                    new[j - n] = m.neg(c);
+        let src = self.residues.as_slice();
+        let residues = match self.executor() {
+            None => Vec::new(),
+            Some(ex) => ex.par_map(src.len(), |k| {
+                let sp = &src[k];
+                let m = *sp.table.modulus();
+                let mut new = vec![0u64; n];
+                for (i, &c) in sp.coeffs.iter().enumerate() {
+                    let j = (i * t) % two_n;
+                    if j < n {
+                        new[j] = c;
+                    } else {
+                        new[j - n] = m.neg(c);
+                    }
                 }
-            }
-            dst.coeffs = new;
-        }
-        Ok(out)
+                ResiduePoly {
+                    table: Arc::clone(&sp.table),
+                    coeffs: new,
+                }
+            }),
+        };
+        Ok(Self {
+            n,
+            domain: Domain::Coeff,
+            residues,
+            moduli: self.moduli.clone(),
+        })
     }
 
     /// Removes and returns the last `k` residues.
@@ -390,7 +496,9 @@ impl RnsPoly {
                 need: k,
             });
         }
-        Ok(self.residues.split_off(self.residues.len() - k))
+        let keep = self.residues.len() - k;
+        self.moduli.truncate(keep);
+        Ok(self.residues.split_off(keep))
     }
 
     /// Removes and returns the residues whose moduli appear in `moduli`
@@ -408,6 +516,7 @@ impl RnsPoly {
                 .iter()
                 .position(|r| r.modulus() == q)
                 .ok_or(RnsError::MissingModulus { modulus: q })?;
+            self.moduli.remove(idx);
             out.push(self.residues.remove(idx));
         }
         Ok(out)
@@ -429,6 +538,7 @@ impl RnsPoly {
             }
         }
         for t in tables {
+            self.moduli.push(t.modulus().value());
             self.residues.push(ResiduePoly::zero(Arc::clone(t)));
         }
         Ok(())
@@ -449,10 +559,12 @@ impl RnsPoly {
                 });
             }
         }
+        let moduli = residues.iter().map(|r| r.modulus()).collect();
         Ok(Self {
             n,
             domain,
             residues,
+            moduli,
         })
     }
 
@@ -477,6 +589,7 @@ impl RnsPoly {
             n: self.n,
             domain: self.domain,
             residues,
+            moduli: moduli.to_vec(),
         })
     }
 
@@ -620,7 +733,7 @@ mod tests {
         let taken = a.extract_residues(&[qs[1]]).unwrap();
         assert_eq!(taken.len(), 1);
         assert_eq!(taken[0].modulus(), qs[1]);
-        assert_eq!(a.moduli(), vec![qs[0], qs[2]]);
+        assert_eq!(a.moduli(), &[qs[0], qs[2]][..]);
     }
 
     #[test]
@@ -629,6 +742,7 @@ mod tests {
         let mut a = RnsPoly::from_i64_coeffs(&pool, &qs[..2], &[1]);
         a.append_zero_residues(&[pool.table(qs[2])]).unwrap();
         assert_eq!(a.num_residues(), 3);
+        assert_eq!(a.moduli(), qs.as_slice());
         assert!(a.residue(2).coeffs().iter().all(|&x| x == 0));
     }
 
@@ -720,5 +834,47 @@ mod tests {
             a.check_reduced(),
             Err(RnsError::UnreducedCoefficient { index: 1, .. })
         ));
+    }
+
+    #[test]
+    fn mul_add_assign_matches_mul_then_add() {
+        let (pool, qs) = setup();
+        let mut x = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, 2, 3, 4]);
+        let mut y = RnsPoly::from_i64_coeffs(&pool, &qs, &[5, -6, 7]);
+        let mut acc = RnsPoly::from_i64_coeffs(&pool, &qs, &[9, 9, 9, 9, 9]);
+        x.to_ntt();
+        y.to_ntt();
+        acc.to_ntt();
+
+        let expect = acc.add(&x.mul(&y).unwrap()).unwrap();
+        acc.mul_add_assign(&x, &y).unwrap();
+        for i in 0..acc.num_residues() {
+            assert_eq!(acc.residue(i).coeffs(), expect.residue(i).coeffs());
+        }
+    }
+
+    #[test]
+    fn owned_variants_match_borrowed() {
+        let (pool, qs) = setup();
+        let a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, -2, 3]);
+        let b = RnsPoly::from_i64_coeffs(&pool, &qs, &[4, 5, -6]);
+        let s1 = a.add(&b).unwrap();
+        let s2 = a.clone().add_owned(&b).unwrap();
+        let d1 = a.sub(&b).unwrap();
+        let d2 = a.clone().sub_owned(&b).unwrap();
+        for i in 0..a.num_residues() {
+            assert_eq!(s1.residue(i).coeffs(), s2.residue(i).coeffs());
+            assert_eq!(d1.residue(i).coeffs(), d2.residue(i).coeffs());
+        }
+    }
+
+    #[test]
+    fn pop_residues_keeps_cached_basis_in_sync() {
+        let (pool, qs) = setup();
+        let mut a = RnsPoly::from_i64_coeffs(&pool, &qs, &[1, 2, 3]);
+        let popped = a.pop_residues(2).unwrap();
+        assert_eq!(popped.len(), 2);
+        assert_eq!(a.moduli(), &qs[..1]);
+        assert_eq!(a.num_residues(), 1);
     }
 }

@@ -6,28 +6,48 @@
 //! them, so every polynomial touching prime `q` shares one table.
 
 use crate::NttTable;
+use bp_par::BpThreadPool;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// A cache of [`NttTable`]s for one ring degree `N`.
 ///
 /// Cloning handles is cheap (`Arc`); the pool itself is usually wrapped in
 /// an `Arc` and shared by every object in a CKKS context.
+///
+/// The pool also owns the [`BpThreadPool`] handle that is stamped into
+/// every table it builds, which is how the executor propagates from a CKKS
+/// context down to every residue-level loop.
 #[derive(Debug)]
 pub struct PrimePool {
     n: usize,
-    tables: RwLock<HashMap<u64, Arc<NttTable>>>,
+    threads: Arc<BpThreadPool>,
+    /// Per-prime `OnceLock` slots: the outer map lock is held only long
+    /// enough to find/insert a slot, never across table construction, and
+    /// `OnceLock` guarantees each table is built exactly once even when
+    /// many threads race on the same previously-unseen prime.
+    tables: RwLock<HashMap<u64, Arc<OnceLock<Arc<NttTable>>>>>,
 }
 
 impl PrimePool {
-    /// Creates an empty pool for ring degree `n` (a power of two).
+    /// Creates an empty pool for ring degree `n` (a power of two), using
+    /// the process-wide default thread pool.
     ///
     /// # Panics
     /// Panics if `n` is not a power of two.
     pub fn new(n: usize) -> Self {
+        Self::with_threads(n, BpThreadPool::global())
+    }
+
+    /// Creates an empty pool for ring degree `n` with an explicit executor.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn with_threads(n: usize, threads: Arc<BpThreadPool>) -> Self {
         assert!(n.is_power_of_two(), "ring degree must be a power of two");
         Self {
             n,
+            threads,
             tables: RwLock::new(HashMap::new()),
         }
     }
@@ -38,17 +58,37 @@ impl PrimePool {
         self.n
     }
 
+    /// The executor handle stamped into every table this pool builds.
+    #[inline]
+    pub fn threads(&self) -> &Arc<BpThreadPool> {
+        &self.threads
+    }
+
     /// Returns the NTT table for prime `q`, building it on first use.
+    ///
+    /// Concurrent callers racing on the same uncached prime build the
+    /// table exactly once (per-prime `OnceLock` slot) and all receive the
+    /// same `Arc`.
     ///
     /// # Panics
     /// Panics if `q` is not an NTT-friendly prime for this pool's `N`.
     pub fn table(&self, q: u64) -> Arc<NttTable> {
-        if let Some(t) = self.tables.read().expect("pool lock").get(&q) {
-            return Arc::clone(t);
-        }
-        let built = Arc::new(NttTable::new(q, self.n));
-        let mut w = self.tables.write().expect("pool lock");
-        Arc::clone(w.entry(q).or_insert(built))
+        // The read guard must drop before the write lock is taken (an
+        // `if let` on the guard temporary would hold it through the else
+        // branch and self-deadlock).
+        let cached = self.tables.read().expect("pool lock").get(&q).cloned();
+        let slot = match cached {
+            Some(slot) => slot,
+            None => {
+                let mut w = self.tables.write().expect("pool lock");
+                Arc::clone(w.entry(q).or_default())
+            }
+        };
+        Arc::clone(
+            slot.get_or_init(|| {
+                Arc::new(NttTable::with_threads(q, self.n, Arc::clone(&self.threads)))
+            }),
+        )
     }
 
     /// Convenience: the largest `count` NTT-friendly primes below `2^bits`
@@ -70,9 +110,15 @@ impl PrimePool {
         ps
     }
 
-    /// Number of tables currently cached.
+    /// Number of tables currently cached (slots whose table finished
+    /// building).
     pub fn cached(&self) -> usize {
-        self.tables.read().expect("pool lock").len()
+        self.tables
+            .read()
+            .expect("pool lock")
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
     }
 }
 
@@ -101,5 +147,24 @@ mod tests {
         for q in qs {
             assert_eq!(q % (2 * (1 << 6)), 1);
         }
+    }
+
+    #[test]
+    fn concurrent_table_requests_build_once() {
+        // Many threads racing on the same previously-unseen prime must all
+        // get the same Arc, and exactly one table may be built.
+        let pool = Arc::new(PrimePool::new(1 << 10));
+        let q = pool.first_primes_below(40, 1)[0];
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                std::thread::spawn(move || p.table(q))
+            })
+            .collect();
+        let tables: Vec<Arc<NttTable>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for t in &tables[1..] {
+            assert!(Arc::ptr_eq(&tables[0], t), "racers must share one table");
+        }
+        assert_eq!(pool.cached(), 1, "exactly one table built under the race");
     }
 }

@@ -45,22 +45,29 @@ pub fn rns_rescale_once(poly: &mut RnsPoly) -> Result<(), RnsError> {
         t.inverse(last_coeff.coeffs_mut());
     }
 
-    for r in poly.residues_mut().iter_mut() {
-        let m = *r.table().modulus();
-        let table = Arc::clone(r.table());
-        let inv_q = m.inv(q_last % m.value()).expect("moduli coprime");
-        let inv_q_s = m.shoup(inv_q);
+    let ex = poly
+        .residues()
+        .first()
+        .map(|r| Arc::clone(r.table().threads()));
+    if let Some(ex) = ex {
+        let lc = &last_coeff;
+        ex.par_for_each_mut(poly.residues_mut(), |_, r| {
+            let m = *r.table().modulus();
+            let table = Arc::clone(r.table());
+            let inv_q = m.inv(q_last % m.value()).expect("moduli coprime");
+            let inv_q_s = m.shoup(inv_q);
 
-        // Reduce the shed residue into this modulus (coefficient domain),
-        // then match the main domain.
-        let mut corr: Vec<u64> = last_coeff.coeffs().iter().map(|&x| m.reduce(x)).collect();
-        if domain == Domain::Ntt {
-            table.forward(&mut corr);
-        }
-        for (x, c) in r.coeffs_mut().iter_mut().zip(corr) {
-            let d = m.sub(*x, c);
-            *x = m.mul_shoup(d, inv_q, inv_q_s);
-        }
+            // Reduce the shed residue into this modulus (coefficient
+            // domain), then match the main domain.
+            let mut corr: Vec<u64> = lc.coeffs().iter().map(|&x| m.reduce(x)).collect();
+            if domain == Domain::Ntt {
+                table.forward(&mut corr);
+            }
+            for (x, c) in r.coeffs_mut().iter_mut().zip(corr) {
+                let d = m.sub(*x, c);
+                *x = m.mul_shoup(d, inv_q, inv_q_s);
+            }
+        });
     }
     Ok(())
 }
@@ -104,6 +111,51 @@ pub fn scale_up(poly: &mut RnsPoly, new_tables: &[Arc<NttTable>]) -> Result<(), 
 /// [`RnsError::MissingModulus`] if a shed modulus is absent;
 /// [`RnsError::NotEnoughResidues`] if shedding would leave zero residues.
 pub fn scale_down(poly: &mut RnsPoly, shed_moduli: &[u64]) -> Result<(), RnsError> {
+    check_scale_down(poly, shed_moduli)?;
+    let shed = poly.extract_residues(shed_moduli)?;
+    let shed_tables: Vec<Arc<NttTable>> = shed.iter().map(|r| Arc::clone(r.table())).collect();
+    let kept_tables: Vec<Arc<NttTable>> = poly
+        .residues()
+        .iter()
+        .map(|r| Arc::clone(r.table()))
+        .collect();
+
+    let conv = BasisConverter::new(&shed_tables, &kept_tables)?;
+    apply_scale_down(poly, &shed, &conv)
+}
+
+/// [`scale_down`] with a caller-supplied (typically memoized) converter,
+/// skipping the per-call table construction — the converter build is
+/// `O(k·m)` BigUint divisions, which dominates small-basis scale-downs on
+/// the keyswitch path.
+///
+/// # Errors
+/// [`RnsError::BasisMismatch`] if the converter was not built for exactly
+/// `shed_moduli` → remaining basis; otherwise the same errors as
+/// [`scale_down`].
+pub fn scale_down_with_converter(
+    poly: &mut RnsPoly,
+    shed_moduli: &[u64],
+    conv: &BasisConverter,
+) -> Result<(), RnsError> {
+    check_scale_down(poly, shed_moduli)?;
+    let kept: Vec<u64> = poly
+        .moduli()
+        .iter()
+        .copied()
+        .filter(|q| !shed_moduli.contains(q))
+        .collect();
+    if !conv.matches(shed_moduli, &kept) {
+        return Err(RnsError::BasisMismatch {
+            left: shed_moduli.to_vec(),
+            right: kept,
+        });
+    }
+    let shed = poly.extract_residues(shed_moduli)?;
+    apply_scale_down(poly, &shed, conv)
+}
+
+fn check_scale_down(poly: &RnsPoly, shed_moduli: &[u64]) -> Result<(), RnsError> {
     if shed_moduli.is_empty() {
         return Err(RnsError::EmptyBasis);
     }
@@ -114,28 +166,33 @@ pub fn scale_down(poly: &mut RnsPoly, shed_moduli: &[u64]) -> Result<(), RnsErro
             need: shed_moduli.len() + 1,
         });
     }
-    let domain = poly.domain();
-    let shed = poly.extract_residues(shed_moduli)?;
-    let shed_tables: Vec<Arc<NttTable>> = shed.iter().map(|r| Arc::clone(r.table())).collect();
-    let kept_tables: Vec<Arc<NttTable>> = poly
-        .residues()
-        .iter()
-        .map(|r| Arc::clone(r.table()))
-        .collect();
+    Ok(())
+}
 
-    let conv = BasisConverter::new(&shed_tables, &kept_tables)?;
+fn apply_scale_down(
+    poly: &mut RnsPoly,
+    shed: &[crate::ResiduePoly],
+    conv: &BasisConverter,
+) -> Result<(), RnsError> {
+    let domain = poly.domain();
     // subMe ≈ (x mod P) represented in the kept basis.
-    let corrections = conv.convert_from(&shed, domain, domain)?;
+    let corrections = conv.convert_from(shed, domain, domain)?;
     let p = conv.p();
 
-    for (r, corr) in poly.residues_mut().iter_mut().zip(corrections) {
-        let m = *r.table().modulus();
-        let inv_p = m.inv(p.rem_u64(m.value())).expect("moduli coprime");
-        let inv_p_s = m.shoup(inv_p);
-        for (x, &c) in r.coeffs_mut().iter_mut().zip(corr.coeffs()) {
-            let d = m.sub(*x, c);
-            *x = m.mul_shoup(d, inv_p, inv_p_s);
-        }
+    let ex = poly
+        .residues()
+        .first()
+        .map(|r| Arc::clone(r.table().threads()));
+    if let Some(ex) = ex {
+        ex.par_for_each_mut(poly.residues_mut(), |i, r| {
+            let m = *r.table().modulus();
+            let inv_p = m.inv(p.rem_u64(m.value())).expect("moduli coprime");
+            let inv_p_s = m.shoup(inv_p);
+            for (x, &c) in r.coeffs_mut().iter_mut().zip(corrections[i].coeffs()) {
+                let d = m.sub(*x, c);
+                *x = m.mul_shoup(d, inv_p, inv_p_s);
+            }
+        });
     }
     Ok(())
 }
@@ -157,7 +214,7 @@ mod tests {
 
     fn read_big(poly: &RnsPoly, idx: usize) -> BigUint {
         let res: Vec<u64> = poly.residues().iter().map(|r| r.coeffs()[idx]).collect();
-        crt_reconstruct(&res, &poly.moduli())
+        crt_reconstruct(&res, poly.moduli())
     }
 
     #[test]
@@ -228,7 +285,7 @@ mod tests {
         let new_tables: Vec<_> = new.iter().map(|&q| pool.table(q)).collect();
         scale_up(&mut p, &new_tables).unwrap();
         scale_down(&mut p, new).unwrap();
-        assert_eq!(p.moduli(), qs.to_vec());
+        assert_eq!(p.moduli(), qs);
         let got = read_big(&p, 0);
         // scale_down(scale_up(x)) = floor(Kx/K) + small error <= k
         let diff = if got >= x { got.sub(&x) } else { x.sub(&got) };
@@ -249,7 +306,7 @@ mod tests {
         // Shed the *first* and *third* moduli (out of order).
         let shed = [qs[2], qs[0]];
         scale_down(&mut p, &shed).unwrap();
-        assert_eq!(p.moduli(), vec![qs[1], qs[3]]);
+        assert_eq!(p.moduli(), &[qs[1], qs[3]][..]);
         let got = read_big(&p, 0);
         let pprod = BigUint::product_of(&shed);
         let expect = x.div_rem(&pprod).0;
@@ -280,6 +337,37 @@ mod tests {
         for i in 0..a.num_residues() {
             assert_eq!(a.residue(i).coeffs(), b.residue(i).coeffs());
         }
+    }
+
+    #[test]
+    fn scale_down_with_cached_converter_matches_plain() {
+        let pool = PrimePool::new(1 << 4);
+        let all = pool.first_primes_below(29, 4);
+        let (qs, new) = all.split_at(2);
+        let coeffs: Vec<i64> = (0..16).map(|i| i * 31337 + 11).collect();
+        let mut a = RnsPoly::from_i64_coeffs(&pool, qs, &coeffs);
+        let new_tables: Vec<_> = new.iter().map(|&q| pool.table(q)).collect();
+        scale_up(&mut a, &new_tables).unwrap();
+        let mut b = a.clone();
+
+        scale_down(&mut a, new).unwrap();
+
+        let kept_tables: Vec<_> = qs.iter().map(|&q| pool.table(q)).collect();
+        let conv = BasisConverter::new(&new_tables, &kept_tables).unwrap();
+        scale_down_with_converter(&mut b, new, &conv).unwrap();
+
+        for i in 0..a.num_residues() {
+            assert_eq!(a.residue(i).coeffs(), b.residue(i).coeffs());
+        }
+
+        // A converter for the wrong basis is rejected before any mutation.
+        let mut c = RnsPoly::from_i64_coeffs(&pool, &all, &coeffs);
+        let wrong = BasisConverter::new(&kept_tables, &new_tables).unwrap();
+        assert!(matches!(
+            scale_down_with_converter(&mut c, new, &wrong),
+            Err(RnsError::BasisMismatch { .. })
+        ));
+        assert_eq!(c.num_residues(), 4, "rejected call must not mutate");
     }
 
     #[test]
