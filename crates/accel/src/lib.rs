@@ -33,9 +33,11 @@ pub mod area;
 mod compile;
 mod config;
 mod energy;
+pub mod replay;
 mod simulate;
 
 pub use compile::{compile, FheOp, OpCategory, TraceContext, Work};
 pub use config::{AcceleratorConfig, FuKind, FU_KINDS};
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use replay::{replay, ReplayError};
 pub use simulate::{simulate, SimReport, TraceOp};

@@ -1,0 +1,212 @@
+//! Replay of recorded evaluator traces through the accelerator model.
+//!
+//! [`bp_telemetry::trace::EvalTrace`] records what the CPU evaluator
+//! actually executed — op kinds, residue counts, shed/added limbs, and
+//! whether level management ran batched (BitPacker) or sequential
+//! (RNS-CKKS). Replaying that stream through [`crate::compile`] /
+//! [`crate::simulate`] turns a measured software run into an accelerator
+//! cycle/energy estimate without hand-writing the workload twice: the
+//! trace *is* the workload.
+
+use crate::compile::{FheOp, TraceContext};
+use crate::config::AcceleratorConfig;
+use crate::simulate::{simulate, SimReport, TraceOp};
+use bp_telemetry::trace::{EvalTrace, OpKind, TraceEntry};
+use std::fmt;
+
+/// A trace that cannot be replayed (metadata missing or inconsistent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Which metadata field made the trace unreplayable.
+    pub field: &'static str,
+    /// Why.
+    pub reason: String,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace not replayable: {} {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Lowers one recorded evaluator op to its accelerator-model equivalent.
+///
+/// Plaintext adds and negation cost the same as a ciphertext add (one
+/// elementwise pass), so they map to [`FheOp::HAdd`]; squaring runs the
+/// full tensor-and-relinearize pipeline, so it maps to [`FheOp::HMult`].
+/// The trace records the *result* basis size; for rescale/adjust the
+/// model wants the size before shedding, which is reconstructed from the
+/// shed/added counts.
+pub fn lower_entry(e: &TraceEntry) -> FheOp {
+    let r = e.op.residues;
+    match e.op.kind {
+        OpKind::Add | OpKind::Sub | OpKind::Negate | OpKind::AddPlain | OpKind::SubPlain => {
+            FheOp::HAdd { r }
+        }
+        OpKind::MulPlain => FheOp::PMult { r },
+        OpKind::Mul | OpKind::Square => FheOp::HMult { r },
+        OpKind::Rotate | OpKind::Conjugate => FheOp::HRotate { r },
+        OpKind::Rescale => FheOp::Rescale {
+            r: (r + e.op.shed).saturating_sub(e.op.added),
+            shed: e.op.shed,
+            added: e.op.added,
+            batched: e.op.batched,
+        },
+        OpKind::Adjust => FheOp::Adjust {
+            r: (r + e.op.shed).saturating_sub(e.op.added),
+            shed: e.op.shed,
+            added: e.op.added,
+            batched: e.op.batched,
+        },
+    }
+}
+
+/// Lowers a full trace to accelerator trace ops, one entry per recorded
+/// op (no coalescing — the simulator scales linearly in entries).
+pub fn lower_trace(trace: &EvalTrace) -> Vec<TraceOp> {
+    trace
+        .entries
+        .iter()
+        .map(|e| TraceOp {
+            op: lower_entry(e),
+            count: 1.0,
+        })
+        .collect()
+}
+
+/// Builds the simulator's [`TraceContext`] from a trace's recorded
+/// metadata.
+///
+/// # Errors
+/// [`ReplayError`] when the ring degree or digit count is zero (the
+/// default placeholder metadata, meaning the recorder was never stamped
+/// with [`bp_telemetry::trace::set_meta`]).
+pub fn trace_context(trace: &EvalTrace) -> Result<TraceContext, ReplayError> {
+    if trace.meta.n == 0 {
+        return Err(ReplayError {
+            field: "n",
+            reason: "is 0 (trace metadata was never set)".into(),
+        });
+    }
+    if trace.meta.dnum == 0 {
+        return Err(ReplayError {
+            field: "dnum",
+            reason: "is 0 (trace metadata was never set)".into(),
+        });
+    }
+    Ok(TraceContext {
+        n: trace.meta.n,
+        dnum: trace.meta.dnum,
+        special: trace.meta.special,
+    })
+}
+
+/// Replays a recorded trace on a machine: lowers every entry, retunes the
+/// config to the trace's word width (iso-throughput scaling), and
+/// simulates.
+///
+/// # Errors
+/// [`ReplayError`] when the trace metadata cannot produce a
+/// [`TraceContext`].
+pub fn replay(
+    trace: &EvalTrace,
+    cfg: &AcceleratorConfig,
+    working_set_mb: f64,
+) -> Result<SimReport, ReplayError> {
+    let ctx = trace_context(trace)?;
+    let cfg = cfg.with_word_bits(trace.meta.word_bits);
+    let ops = lower_trace(trace);
+    Ok(simulate(&ops, &cfg, &ctx, working_set_mb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_telemetry::trace::{OpRecord, TraceMeta};
+
+    fn entry(kind: OpKind, residues: usize, shed: usize, added: usize) -> TraceEntry {
+        TraceEntry {
+            seq: 0,
+            op: OpRecord {
+                kind,
+                level: 3,
+                residues,
+                shed,
+                added,
+                batched: added > 0,
+                repair: false,
+                duration_ns: 100,
+                noise_bits: 10.0,
+                clear_bits: 20.0,
+                scale_log2: 40.0,
+            },
+        }
+    }
+
+    fn trace(entries: Vec<TraceEntry>) -> EvalTrace {
+        EvalTrace {
+            meta: TraceMeta {
+                workload: "test".into(),
+                n: 8192,
+                dnum: 3,
+                special: 3,
+                word_bits: 28,
+            },
+            entries,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn lowering_maps_each_kind_to_the_expected_fheop() {
+        assert_eq!(
+            lower_entry(&entry(OpKind::Add, 30, 0, 0)),
+            FheOp::HAdd { r: 30 }
+        );
+        assert_eq!(
+            lower_entry(&entry(OpKind::Square, 30, 0, 0)),
+            FheOp::HMult { r: 30 }
+        );
+        assert_eq!(
+            lower_entry(&entry(OpKind::Conjugate, 30, 0, 0)),
+            FheOp::HRotate { r: 30 }
+        );
+        assert_eq!(
+            lower_entry(&entry(OpKind::MulPlain, 30, 0, 0)),
+            FheOp::PMult { r: 30 }
+        );
+        // Result had 29 residues after shedding 2 and adding 1 → the op ran
+        // on a 30-residue basis.
+        assert_eq!(
+            lower_entry(&entry(OpKind::Rescale, 29, 2, 1)),
+            FheOp::Rescale {
+                r: 30,
+                shed: 2,
+                added: 1,
+                batched: true,
+            }
+        );
+    }
+
+    #[test]
+    fn replay_produces_nonzero_estimate() {
+        let t = trace(vec![
+            entry(OpKind::Mul, 30, 0, 0),
+            entry(OpKind::Rescale, 29, 1, 0),
+        ]);
+        let report = replay(&t, &AcceleratorConfig::craterlake(), 0.0).expect("replayable");
+        assert!(report.cycles > 0.0);
+        assert!(report.ms > 0.0);
+        assert!(report.energy.total_mj() > 0.0);
+    }
+
+    #[test]
+    fn unstamped_metadata_is_rejected() {
+        let mut t = trace(vec![entry(OpKind::Add, 30, 0, 0)]);
+        t.meta.n = 0;
+        let err = replay(&t, &AcceleratorConfig::craterlake(), 0.0).unwrap_err();
+        assert_eq!(err.field, "n");
+    }
+}

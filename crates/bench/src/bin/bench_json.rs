@@ -10,10 +10,11 @@
 //! cargo run --release -p bp-bench --bin bench_json [-- output.json]
 //! ```
 
+use bp_bench::RunMeta;
 use bp_ckks::{BpThreadPool, CkksContext, CkksParams, KeySet, Representation, SecurityLevel};
+use bp_telemetry::json::Obj;
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
-use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -121,21 +122,20 @@ fn main() {
         }
     }
 
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"bitpacker-cpu-bench/v1\",\n");
-    let _ = writeln!(json, "  \"samples_per_op\": {SAMPLES},");
-    json.push_str("  \"results\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        let comma = if i + 1 == records.len() { "" } else { "," };
-        let _ = writeln!(
-            json,
-            "    {{\"op\": \"{}\", \"n\": {}, \"threads\": {}, \"median_us\": {:.1}}}{}",
-            r.op, r.n, r.threads, r.median_us, comma
-        );
-    }
-    json.push_str("  ],\n  \"speedups\": {\n");
+    let results: Vec<String> = records
+        .iter()
+        .map(|r| {
+            Obj::new()
+                .str("op", r.op)
+                .u64("n", r.n as u64)
+                .u64("threads", r.threads as u64)
+                .f64("median_us", (r.median_us * 10.0).round() / 10.0)
+                .build()
+        })
+        .collect();
+
     // threads=4 vs threads=1 speedup per (op, n) when both exist.
-    let mut lines = Vec::new();
+    let mut speedups = Obj::new();
     for r in &records {
         if r.threads != 1 {
             continue;
@@ -144,16 +144,17 @@ fn main() {
             .iter()
             .find(|p| p.op == r.op && p.n == r.n && p.threads == 4)
         {
-            lines.push(format!(
-                "    \"{}_n{}_t4_vs_t1\": {:.2}",
-                r.op,
-                r.n,
-                r.median_us / par.median_us
-            ));
+            let key = format!("{}_n{}_t4_vs_t1", r.op, r.n);
+            speedups = speedups.f64(&key, (r.median_us / par.median_us * 100.0).round() / 100.0);
         }
     }
-    json.push_str(&lines.join(",\n"));
-    json.push_str("\n  }\n}\n");
+
+    let json = RunMeta::collect("bitpacker-cpu-bench/v2")
+        .header()
+        .u64("samples_per_op", SAMPLES as u64)
+        .arr("results", results)
+        .raw("speedups", speedups.build())
+        .build();
 
     std::fs::write(&out_path, &json).expect("write BENCH_cpu.json");
     println!("{json}");

@@ -1,0 +1,183 @@
+//! Telemetry trace reporter: runs an instrumented evaluator pipeline,
+//! prints a per-op summary table, emits `TRACE_<workload>.json`, and
+//! replays the trace through the accelerator model for a cycle estimate.
+//!
+//! Requires the `telemetry` feature (the binary exits with an error
+//! otherwise):
+//!
+//! ```text
+//! cargo run --release -p bp-bench --features telemetry --bin trace_report
+//! cargo run --release -p bp-bench --features telemetry --bin trace_report -- --small
+//! ```
+//!
+//! `--small` drops the ring degree to N=1024 for CI smoke runs; the
+//! default is the paper-scale N=8192 mul+relin+rescale pipeline. An
+//! optional trailing argument overrides the output path.
+
+use bp_accel::AcceleratorConfig;
+use bp_bench::RunMeta;
+use bp_ckks::telemetry::trace::{self, EvalTrace, OpKind, TRACE_SCHEMA};
+use bp_ckks::telemetry::{self, counters, spans};
+use bp_ckks::{CkksContext, CkksParams, Representation, SecurityLevel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+const WORKLOAD: &str = "mul_relin_rescale";
+
+/// Runs the mul+relin+rescale pipeline down the whole chain, with one
+/// rotate+add per level so every hot path shows up in the trace.
+fn run_pipeline(ctx: &CkksContext) -> Result<(), bp_ckks::EvalError> {
+    let mut rng = ChaCha20Rng::seed_from_u64(7);
+    let mut keys = ctx.keygen(&mut rng);
+    ctx.gen_rotation_keys(&mut keys, &[1], &mut rng);
+    let vals: Vec<f64> = (0..ctx.params().slots())
+        .map(|i| (i as f64).sin() / 2.0)
+        .collect();
+    let mut ct = ctx.encrypt(&ctx.encode(&vals, ctx.max_level()), &keys.public, &mut rng);
+    let ev = ctx.evaluator();
+    while ct.level() > 0 {
+        let prod = ev.mul(&ct, &ct, &keys.evaluation)?;
+        let rot = ev.rotate(&prod, 1, &keys.evaluation)?;
+        let sum = ev.add(&prod, &rot)?;
+        ct = ev.rescale(&sum)?;
+    }
+    Ok(())
+}
+
+struct OpSummary {
+    kind: OpKind,
+    count: u64,
+    total_ns: u64,
+    noise_consumed: f64,
+}
+
+/// Aggregates the trace per op kind. "Noise consumed" is the growth in
+/// the result's noise magnitude attributed to each op, i.e. the
+/// noise-bits delta against the previous entry in program order (the
+/// first entry is charged its full noise).
+fn summarize(tr: &EvalTrace) -> Vec<OpSummary> {
+    let mut out: Vec<OpSummary> = Vec::new();
+    let mut prev_noise = 0.0f64;
+    for e in &tr.entries {
+        let consumed = (e.op.noise_bits - prev_noise).max(0.0);
+        prev_noise = e.op.noise_bits;
+        match out.iter_mut().find(|s| s.kind == e.op.kind) {
+            Some(s) => {
+                s.count += 1;
+                s.total_ns += e.op.duration_ns;
+                s.noise_consumed += consumed;
+            }
+            None => out.push(OpSummary {
+                kind: e.op.kind,
+                count: 1,
+                total_ns: e.op.duration_ns,
+                noise_consumed: consumed,
+            }),
+        }
+    }
+    out.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| format!("TRACE_{WORKLOAD}.json"));
+
+    telemetry::set_enabled(true);
+    if !telemetry::enabled() {
+        eprintln!(
+            "error: telemetry is compiled out — rebuild with \
+             `--features telemetry`"
+        );
+        std::process::exit(2);
+    }
+
+    let log_n = if small { 10 } else { 13 };
+    let params = CkksParams::builder()
+        .log_n(log_n)
+        .word_bits(28)
+        .representation(Representation::BitPacker)
+        .security(SecurityLevel::Insecure)
+        .levels(4, 40)
+        .base_modulus_bits(50)
+        .build()
+        .expect("params");
+    let ctx = CkksContext::new(&params).expect("context");
+
+    telemetry::reset();
+    trace::set_meta(ctx.telemetry_meta(WORKLOAD));
+    let wall = std::time::Instant::now();
+    run_pipeline(&ctx).expect("pipeline");
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    let tr = trace::take();
+    if tr.entries.is_empty() {
+        eprintln!("error: pipeline recorded no trace entries");
+        std::process::exit(2);
+    }
+
+    println!(
+        "workload: {WORKLOAD} (N = {}, {} ops recorded)",
+        params.n(),
+        tr.entries.len()
+    );
+    println!();
+    println!(
+        "{:<10} {:>6} {:>12} {:>10} {:>8} {:>14}",
+        "op", "count", "total ms", "mean us", "% wall", "noise (bits)"
+    );
+    for s in summarize(&tr) {
+        println!(
+            "{:<10} {:>6} {:>12.3} {:>10.1} {:>7.1}% {:>14.1}",
+            s.kind.name(),
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.total_ns as f64 / 1e3 / s.count as f64,
+            s.total_ns as f64 / wall_ns as f64 * 100.0,
+            s.noise_consumed,
+        );
+    }
+    println!();
+    println!("counters:");
+    for c in counters::Counter::ALL {
+        let v = counters::get(c);
+        if v > 0 {
+            println!("  {:<20} {v}", c.name());
+        }
+    }
+    println!();
+    println!("spans:");
+    for s in spans::stats() {
+        if s.count > 0 {
+            println!(
+                "  {:<14} count {:>6}  total {:>10.3} ms  mean {:>8.1} us",
+                format!("{:?}", s.kind),
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.mean_ns() / 1e3,
+            );
+        }
+    }
+
+    // Emit the trace with the stable run-metadata header, then prove the
+    // document round-trips before reporting success.
+    let json = tr.write_into(RunMeta::collect(TRACE_SCHEMA).header());
+    std::fs::write(&out_path, &json).expect("write trace JSON");
+    let parsed = EvalTrace::from_json(&json).expect("emitted trace must re-parse");
+    assert_eq!(parsed.entries.len(), tr.entries.len());
+    println!();
+    println!("[trace] wrote {out_path} ({} bytes)", json.len());
+
+    let report = bp_accel::replay(&parsed, &AcceleratorConfig::craterlake(), 0.0)
+        .expect("trace metadata is stamped");
+    println!(
+        "[replay] accelerator estimate: {:.0} cycles, {:.4} ms, {:.3} mJ",
+        report.cycles,
+        report.ms,
+        report.energy.total_mj()
+    );
+}

@@ -10,9 +10,67 @@
 
 use bp_accel::{simulate, AcceleratorConfig, SimReport};
 use bp_ckks::{Representation, SecurityLevel};
+use bp_telemetry::json::Obj;
 use bp_workloads::WorkloadSpec;
 use std::io::Write;
 use std::path::PathBuf;
+
+/// Stable run-environment metadata stamped as the header of every JSON
+/// document the harness emits (`BENCH_cpu.json`, `TRACE_*.json`): schema
+/// version, git commit, machine shape, and the harness-supplied
+/// timestamp. Keeping the header shape fixed lets successive PRs diff
+/// emitted documents mechanically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Document schema identifier (e.g. `bitpacker-cpu-bench/v2`).
+    pub schema: String,
+    /// `git rev-parse HEAD` of the emitting checkout, or `unknown`.
+    pub git_commit: String,
+    /// Available hardware parallelism on the emitting machine.
+    pub cores: usize,
+    /// Value of `BITPACKER_THREADS` at emission time, or `unset`.
+    pub bitpacker_threads: String,
+    /// Harness-supplied timestamp (`BP_BENCH_TIMESTAMP`), or `unset` —
+    /// passed in rather than read from the clock so reruns with the same
+    /// inputs emit byte-identical headers.
+    pub timestamp: String,
+}
+
+impl RunMeta {
+    /// Collects the header for a document with the given schema.
+    pub fn collect(schema: &str) -> Self {
+        let git_commit = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        RunMeta {
+            schema: schema.to_string(),
+            git_commit,
+            cores: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            bitpacker_threads: std::env::var("BITPACKER_THREADS")
+                .unwrap_or_else(|_| "unset".to_string()),
+            timestamp: std::env::var("BP_BENCH_TIMESTAMP").unwrap_or_else(|_| "unset".to_string()),
+        }
+    }
+
+    /// Starts an order-preserving JSON object with the header fields;
+    /// callers chain their payload fields after it.
+    pub fn header(&self) -> Obj {
+        Obj::new()
+            .str("schema", &self.schema)
+            .str("git_commit", &self.git_commit)
+            .u64("cores", self.cores as u64)
+            .str("bitpacker_threads", &self.bitpacker_threads)
+            .str("timestamp", &self.timestamp)
+    }
+}
 
 /// Geometric mean of a slice.
 ///
@@ -134,5 +192,29 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn gmean_empty_panics() {
         gmean(&[]);
+    }
+
+    #[test]
+    fn run_meta_header_has_the_stable_field_set() {
+        use bp_telemetry::json::Json;
+        let meta = RunMeta::collect("bitpacker-cpu-bench/v2");
+        let doc = Json::parse(&meta.header().u64("payload", 1).build()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("bitpacker-cpu-bench/v2")
+        );
+        // Commit hash or the explicit "unknown" sentinel — never absent.
+        let commit = doc.get("git_commit").and_then(Json::as_str).expect("str");
+        assert!(!commit.is_empty());
+        assert!(doc.get("cores").and_then(Json::as_u64).expect("u64") >= 1);
+        // Env-derived fields are always present, defaulting to "unset".
+        assert!(doc
+            .get("bitpacker_threads")
+            .and_then(Json::as_str)
+            .is_some());
+        assert!(doc.get("timestamp").and_then(Json::as_str).is_some());
+        // Header fields come first so documents stay mechanically diffable.
+        let text = meta.header().u64("payload", 1).build();
+        assert!(text.starts_with("{\"schema\":"));
     }
 }

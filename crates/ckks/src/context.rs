@@ -152,6 +152,20 @@ impl CkksContext {
         self.chain.max_level()
     }
 
+    /// Trace metadata describing this context, for
+    /// [`bp_telemetry::trace::set_meta`] — stamps emitted traces with the
+    /// ring degree, digit count, and special-prime count the accelerator
+    /// replay needs.
+    pub fn telemetry_meta(&self, workload: &str) -> bp_telemetry::trace::TraceMeta {
+        bp_telemetry::trace::TraceMeta {
+            workload: workload.to_string(),
+            n: self.params.n(),
+            dnum: self.params.dnum(),
+            special: self.chain.special().len(),
+            word_bits: self.params.word_bits(),
+        }
+    }
+
     /// Creates a Strict-mode [`Evaluator`] bound to this context:
     /// misaligned operands are typed errors.
     pub fn evaluator(&self) -> Evaluator<'_> {
@@ -167,6 +181,7 @@ impl CkksContext {
 
     /// Generates a fresh key set (secret, public, relinearization).
     pub fn keygen<R: Rng + ?Sized>(&self, rng: &mut R) -> KeySet {
+        let _span = bp_telemetry::spans::span(bp_telemetry::spans::SpanKind::KeyGen);
         let secret = keys::gen_secret(&self.pool, &self.chain, rng);
         let public = keys::gen_public(&self.pool, &self.chain, &secret, rng);
         let relin = keys::gen_relin(&self.pool, &self.chain, &secret, rng);
@@ -184,6 +199,7 @@ impl CkksContext {
     /// Generates rotation keys for the given step counts and adds them to
     /// the key set.
     pub fn gen_rotation_keys<R: Rng + ?Sized>(&self, ks: &mut KeySet, steps: &[i64], rng: &mut R) {
+        let _span = bp_telemetry::spans::span(bp_telemetry::spans::SpanKind::KeyGen);
         let order = (self.params.n() / 2) as i64;
         for &st in steps {
             let norm = st.rem_euclid(order);
@@ -198,6 +214,7 @@ impl CkksContext {
 
     /// Generates the conjugation key and adds it to the key set.
     pub fn gen_conjugation_key<R: Rng + ?Sized>(&self, ks: &mut KeySet, rng: &mut R) {
+        let _span = bp_telemetry::spans::span(bp_telemetry::spans::SpanKind::KeyGen);
         if ks.evaluation.conjugation.is_none() {
             ks.evaluation.conjugation = Some(keys::gen_conjugation(
                 &self.pool,

@@ -19,10 +19,15 @@ use crate::encoding::Plaintext;
 use crate::error::EvalError;
 use crate::keys::{galois_element, EvaluationKey, KeySwitchKey};
 use crate::levels;
+use crate::params::Representation;
 use bp_rns::rescale::scale_down_with_converter;
 use bp_rns::{Domain, ResiduePoly, RnsPoly};
+use bp_telemetry::events::{self, Event, RepairKind};
+use bp_telemetry::trace::{self, OpKind, OpRecord};
+use bp_telemetry::Stopwatch;
 use std::borrow::Cow;
 use std::cell::Cell;
+use std::fmt;
 
 /// How the evaluator treats misaligned operands (different levels or
 /// scales).
@@ -71,6 +76,18 @@ impl RepairLog {
     }
 }
 
+impl fmt::Display for RepairLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} repairs ({} adjusts, {} rescales)",
+            self.total(),
+            self.adjusts(),
+            self.rescales()
+        )
+    }
+}
+
 /// Operation dispatcher bound to a [`CkksContext`].
 ///
 /// Created via [`CkksContext::evaluator`] (Strict) or
@@ -106,11 +123,105 @@ impl<'a> Evaluator<'a> {
         &self.repairs
     }
 
+    /// Drains the repair counters: returns a snapshot of the counts so far
+    /// and resets the live log to zero, so long-running sessions can
+    /// report repairs per window instead of monotonically.
+    pub fn take_repairs(&self) -> RepairLog {
+        let snapshot = self.repairs.clone();
+        self.repairs.reset();
+        snapshot
+    }
+
+    /// Records one completed public op into the telemetry trace. A no-op
+    /// unless telemetry is compiled in and live.
+    fn observe(&self, kind: OpKind, sw: Stopwatch, ct: &Ciphertext) {
+        self.observe_level_op(kind, sw, ct, 0, 0, false);
+    }
+
+    /// [`Evaluator::observe`] with level-management detail: residues shed
+    /// and added by the op, and whether it was an auto-align repair.
+    fn observe_level_op(
+        &self,
+        kind: OpKind,
+        sw: Stopwatch,
+        ct: &Ciphertext,
+        shed: usize,
+        added: usize,
+        repair: bool,
+    ) {
+        if !bp_telemetry::enabled() {
+            return;
+        }
+        let batched = matches!(kind, OpKind::Rescale | OpKind::Adjust)
+            && self.chain().representation() == Representation::BitPacker;
+        trace::record_op(OpRecord {
+            kind,
+            level: ct.level(),
+            residues: ct.num_residues(),
+            shed,
+            added,
+            batched,
+            repair,
+            duration_ns: sw.elapsed_ns(),
+            noise_bits: ct.noise().noise_bits,
+            clear_bits: ct.noise().clear_bits(),
+            scale_log2: ct.scale().log2(),
+        });
+    }
+
+    /// Auto-align repair: adjusts `ct` down to `target`, recording one
+    /// repair-flagged `Adjust` trace entry per level step and one
+    /// [`Event::Repair`] on the event stream.
+    fn repair_adjust_to(
+        &self,
+        ct: &mut Ciphertext,
+        target: usize,
+        op: OpKind,
+    ) -> Result<(), EvalError> {
+        if !bp_telemetry::enabled() || target > ct.level() {
+            return levels::adjust_to(ct, self.chain(), self.ctx.pool(), target);
+        }
+        while ct.level() > target {
+            let sw = Stopwatch::start();
+            let l = ct.level();
+            levels::adjust(ct, self.chain(), self.ctx.pool())?;
+            let shed = self.chain().shed_between(l).len();
+            let added = self.chain().added_between(l).len();
+            self.observe_level_op(OpKind::Adjust, sw, ct, shed, added, true);
+        }
+        events::emit(Event::Repair {
+            kind: RepairKind::Adjust,
+            op,
+            level: ct.level(),
+        });
+        Ok(())
+    }
+
+    /// Auto-align repair: rescales `ct` once, recording a repair-flagged
+    /// `Rescale` trace entry and an [`Event::Repair`].
+    fn repair_rescale(&self, ct: &mut Ciphertext, op: OpKind) -> Result<(), EvalError> {
+        let sw = Stopwatch::start();
+        let l = ct.level();
+        levels::rescale(ct, self.chain(), self.ctx.pool())?;
+        if bp_telemetry::enabled() {
+            let shed = self.chain().shed_between(l).len();
+            let added = self.chain().added_between(l).len();
+            self.observe_level_op(OpKind::Rescale, sw, ct, shed, added, true);
+            events::emit(Event::Repair {
+                kind: RepairKind::Rescale,
+                op,
+                level: ct.level(),
+            });
+        }
+        Ok(())
+    }
+
     /// Checks level+scale alignment; under AutoAlign returns repaired
     /// clones, under Strict a typed error. Already-aligned operands (the
     /// common Strict path) are returned borrowed — no clone.
     fn align<'c>(
         &self,
+        op: OpKind,
         a: &'c Ciphertext,
         b: &'c Ciphertext,
     ) -> Result<(Cow<'c, Ciphertext>, Cow<'c, Ciphertext>), EvalError> {
@@ -143,7 +254,7 @@ impl<'a> Evaluator<'a> {
             if a.level != b.level {
                 let target = a.level.min(b.level);
                 let hi = if a.level > b.level { &mut a } else { &mut b };
-                levels::adjust_to(hi, self.chain(), self.ctx.pool(), target)?;
+                self.repair_adjust_to(hi, target, op)?;
                 self.repairs.adjusts.set(self.repairs.adjusts.get() + 1);
                 continue;
             }
@@ -164,7 +275,7 @@ impl<'a> Evaluator<'a> {
                     ),
                 });
             }
-            levels::rescale(hi, self.chain(), self.ctx.pool())?;
+            self.repair_rescale(hi, op)?;
             self.repairs.rescales.set(self.repairs.rescales.get() + 1);
         }
         Err(EvalError::AutoAlignFailed {
@@ -184,6 +295,7 @@ impl<'a> Evaluator<'a> {
     /// returned borrowed — no clone.
     fn align_levels<'c>(
         &self,
+        op: OpKind,
         a: &'c Ciphertext,
         b: &'c Ciphertext,
     ) -> Result<(Cow<'c, Ciphertext>, Cow<'c, Ciphertext>), EvalError> {
@@ -200,7 +312,7 @@ impl<'a> Evaluator<'a> {
         let mut a = a.clone();
         let mut b = b.clone();
         let hi = if a.level > b.level { &mut a } else { &mut b };
-        levels::adjust_to(hi, self.chain(), self.ctx.pool(), target)?;
+        self.repair_adjust_to(hi, target, op)?;
         self.repairs.adjusts.set(self.repairs.adjusts.get() + 1);
         Ok((Cow::Owned(a), Cow::Owned(b)))
     }
@@ -210,6 +322,7 @@ impl<'a> Evaluator<'a> {
     /// Matching levels return the ciphertext borrowed — no clone.
     fn align_to_plain<'c>(
         &self,
+        op: OpKind,
         a: &'c Ciphertext,
         pt: &Plaintext,
     ) -> Result<Cow<'c, Ciphertext>, EvalError> {
@@ -223,7 +336,7 @@ impl<'a> Evaluator<'a> {
             });
         }
         let mut a = a.clone();
-        levels::adjust_to(&mut a, self.chain(), self.ctx.pool(), pt.level)?;
+        self.repair_adjust_to(&mut a, pt.level, op)?;
         self.repairs.adjusts.set(self.repairs.adjusts.get() + 1);
         Ok(Cow::Owned(a))
     }
@@ -235,14 +348,17 @@ impl<'a> Evaluator<'a> {
     /// Strict when the operands are misaligned (use [`Evaluator::adjust_to`]
     /// or [`EvalPolicy::AutoAlign`]).
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
-        let (a, b) = self.align(a, b)?;
-        Ok(Ciphertext::new(
+        let sw = Stopwatch::start();
+        let (a, b) = self.align(OpKind::Add, a, b)?;
+        let ct = Ciphertext::new(
             a.c0.add(&b.c0)?,
             a.c1.add(&b.c1)?,
             a.level,
             a.scale.clone(),
             a.noise.add(&b.noise),
-        ))
+        );
+        self.observe(OpKind::Add, sw, &ct);
+        Ok(ct)
     }
 
     /// Homomorphic elementwise subtraction.
@@ -250,14 +366,17 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     /// Same alignment errors as [`Evaluator::add`].
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
-        let (a, b) = self.align(a, b)?;
-        Ok(Ciphertext::new(
+        let sw = Stopwatch::start();
+        let (a, b) = self.align(OpKind::Sub, a, b)?;
+        let ct = Ciphertext::new(
             a.c0.sub(&b.c0)?,
             a.c1.sub(&b.c1)?,
             a.level,
             a.scale.clone(),
             a.noise.add(&b.noise),
-        ))
+        );
+        self.observe(OpKind::Sub, sw, &ct);
+        Ok(ct)
     }
 
     /// Adds an (unencrypted) plaintext to a ciphertext.
@@ -267,7 +386,8 @@ impl<'a> Evaluator<'a> {
     /// [`EvalError::PlaintextScaleMismatch`] when the plaintext was not
     /// encoded for the ciphertext's level and scale.
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
-        let a = self.align_to_plain(a, pt)?;
+        let sw = Stopwatch::start();
+        let a = self.align_to_plain(OpKind::AddPlain, a, pt)?;
         if a.scale != pt.scale {
             return Err(EvalError::PlaintextScaleMismatch {
                 ciphertext_log2: a.scale.log2(),
@@ -276,13 +396,15 @@ impl<'a> Evaluator<'a> {
         }
         let mut p = pt.poly.clone();
         p.to_ntt();
-        Ok(Ciphertext::new(
+        let ct = Ciphertext::new(
             a.c0.add(&p)?,
             a.c1.clone(),
             a.level,
             a.scale.clone(),
             a.noise,
-        ))
+        );
+        self.observe(OpKind::AddPlain, sw, &ct);
+        Ok(ct)
     }
 
     /// Multiplies a ciphertext by a plaintext (no relinearization needed;
@@ -292,16 +414,19 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     /// [`EvalError::PlaintextLevelMismatch`] when the levels differ.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
-        let a = self.align_to_plain(a, pt)?;
+        let sw = Stopwatch::start();
+        let a = self.align_to_plain(OpKind::MulPlain, a, pt)?;
         let mut p = pt.poly.clone();
         p.to_ntt();
-        Ok(Ciphertext::new(
+        let ct = Ciphertext::new(
             a.c0.mul(&p)?,
             a.c1.mul(&p)?,
             a.level,
             a.scale.mul(&pt.scale),
             a.noise.mul_plain(pt.scale.log2()),
-        ))
+        );
+        self.observe(OpKind::MulPlain, sw, &ct);
+        Ok(ct)
     }
 
     /// Homomorphic ciphertext–ciphertext multiplication with
@@ -316,7 +441,8 @@ impl<'a> Evaluator<'a> {
         b: &Ciphertext,
         ek: &EvaluationKey,
     ) -> Result<Ciphertext, EvalError> {
-        let (a, b) = self.align_levels(a, b)?;
+        let sw = Stopwatch::start();
+        let (a, b) = self.align_levels(OpKind::Mul, a, b)?;
         let d0 = a.c0.mul(&b.c0)?;
         let mut d1 = a.c0.mul(&b.c1)?;
         // Fused: d1 += c1·c0' in one traversal, no product temporary.
@@ -324,13 +450,15 @@ impl<'a> Evaluator<'a> {
         let d2 = a.c1.mul(&b.c1)?;
         let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin)?;
         let n = self.ctx.params().n();
-        Ok(Ciphertext::new(
+        let ct = Ciphertext::new(
             d0.add_owned(&ks_b)?,
             d1.add_owned(&ks_a)?,
             a.level,
             a.scale.mul(&b.scale),
             a.noise.mul(&b.noise).keyswitch(n),
-        ))
+        );
+        self.observe(OpKind::Mul, sw, &ct);
+        Ok(ct)
     }
 
     /// Homomorphic squaring (saves one polynomial product vs. `mul`).
@@ -338,6 +466,7 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     /// Propagates keyswitching failures.
     pub fn square(&self, a: &Ciphertext, ek: &EvaluationKey) -> Result<Ciphertext, EvalError> {
+        let sw = Stopwatch::start();
         let d0 = a.c0.mul(&a.c0)?;
         let mut d1 = a.c0.mul(&a.c1)?;
         // 2·(c0·c1) via a scalar pass — no self-clone, no add traversal.
@@ -345,13 +474,15 @@ impl<'a> Evaluator<'a> {
         let d2 = a.c1.mul(&a.c1)?;
         let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin)?;
         let n = self.ctx.params().n();
-        Ok(Ciphertext::new(
+        let ct = Ciphertext::new(
             d0.add_owned(&ks_b)?,
             d1.add_owned(&ks_a)?,
             a.level,
             a.scale.square(),
             a.noise.mul(&a.noise).keyswitch(n),
-        ))
+        );
+        self.observe(OpKind::Square, sw, &ct);
+        Ok(ct)
     }
 
     /// Homomorphic slot rotation by `steps` (positive = left).
@@ -365,6 +496,7 @@ impl<'a> Evaluator<'a> {
         steps: i64,
         ek: &EvaluationKey,
     ) -> Result<Ciphertext, EvalError> {
+        let sw = Stopwatch::start();
         let n = self.ctx.params().n();
         let order = (n / 2) as i64;
         let normalized = steps.rem_euclid(order);
@@ -384,13 +516,15 @@ impl<'a> Evaluator<'a> {
         let c0t = rot(&a.c0)?;
         let c1t = rot(&a.c1)?;
         let (ks_b, ks_a) = self.apply_ksk(&c1t, key)?;
-        Ok(Ciphertext::new(
+        let ct = Ciphertext::new(
             c0t.add_owned(&ks_b)?,
             ks_a,
             a.level,
             a.scale.clone(),
             a.noise.keyswitch(n),
-        ))
+        );
+        self.observe(OpKind::Rotate, sw, &ct);
+        Ok(ct)
     }
 
     /// Homomorphic negation.
@@ -399,13 +533,10 @@ impl<'a> Evaluator<'a> {
     /// Never fails today; returns `Result` for uniformity with the rest of
     /// the evaluation API.
     pub fn negate(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
-        Ok(Ciphertext::new(
-            a.c0.neg(),
-            a.c1.neg(),
-            a.level,
-            a.scale.clone(),
-            a.noise,
-        ))
+        let sw = Stopwatch::start();
+        let ct = Ciphertext::new(a.c0.neg(), a.c1.neg(), a.level, a.scale.clone(), a.noise);
+        self.observe(OpKind::Negate, sw, &ct);
+        Ok(ct)
     }
 
     /// Subtracts a plaintext from a ciphertext.
@@ -413,7 +544,8 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     /// Same alignment errors as [`Evaluator::add_plain`].
     pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
-        let a = self.align_to_plain(a, pt)?;
+        let sw = Stopwatch::start();
+        let a = self.align_to_plain(OpKind::SubPlain, a, pt)?;
         if a.scale != pt.scale {
             return Err(EvalError::PlaintextScaleMismatch {
                 ciphertext_log2: a.scale.log2(),
@@ -422,13 +554,15 @@ impl<'a> Evaluator<'a> {
         }
         let mut p = pt.poly.clone();
         p.to_ntt();
-        Ok(Ciphertext::new(
+        let ct = Ciphertext::new(
             a.c0.sub(&p)?,
             a.c1.clone(),
             a.level,
             a.scale.clone(),
             a.noise,
-        ))
+        );
+        self.observe(OpKind::SubPlain, sw, &ct);
+        Ok(ct)
     }
 
     /// Complex conjugation of the slot values (the Galois automorphism
@@ -438,6 +572,7 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     /// [`EvalError::MissingConjugationKey`] if `ek` has no conjugation key.
     pub fn conjugate(&self, a: &Ciphertext, ek: &EvaluationKey) -> Result<Ciphertext, EvalError> {
+        let sw = Stopwatch::start();
         let n = self.ctx.params().n();
         let t = 2 * n - 1;
         let key = ek
@@ -454,13 +589,15 @@ impl<'a> Evaluator<'a> {
         let c0t = rot(&a.c0)?;
         let c1t = rot(&a.c1)?;
         let (ks_b, ks_a) = self.apply_ksk(&c1t, key)?;
-        Ok(Ciphertext::new(
+        let ct = Ciphertext::new(
             c0t.add_owned(&ks_b)?,
             ks_a,
             a.level,
             a.scale.clone(),
             a.noise.keyswitch(n),
-        ))
+        );
+        self.observe(OpKind::Conjugate, sw, &ct);
+        Ok(ct)
     }
 
     /// Rescales to the next level down (dispatches to the representation's
@@ -469,8 +606,15 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     /// [`EvalError::LevelExhausted`] at level 0.
     pub fn rescale(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        let sw = Stopwatch::start();
+        let from = a.level();
         let mut ct = a.clone();
         levels::rescale(&mut ct, self.chain(), self.ctx.pool())?;
+        if bp_telemetry::enabled() {
+            let shed = self.chain().shed_between(from).len();
+            let added = self.chain().added_between(from).len();
+            self.observe_level_op(OpKind::Rescale, sw, &ct, shed, added, false);
+        }
         Ok(ct)
     }
 
@@ -483,7 +627,20 @@ impl<'a> Evaluator<'a> {
     /// level.
     pub fn adjust_to(&self, a: &Ciphertext, target_level: usize) -> Result<Ciphertext, EvalError> {
         let mut ct = a.clone();
-        levels::adjust_to(&mut ct, self.chain(), self.ctx.pool(), target_level)?;
+        if !bp_telemetry::enabled() || target_level > ct.level() {
+            levels::adjust_to(&mut ct, self.chain(), self.ctx.pool(), target_level)?;
+            return Ok(ct);
+        }
+        // Telemetry path: step level-by-level so each shed/added residue
+        // batch is recorded as its own `Adjust` trace entry.
+        while ct.level() > target_level {
+            let sw = Stopwatch::start();
+            let from = ct.level();
+            levels::adjust(&mut ct, self.chain(), self.ctx.pool())?;
+            let shed = self.chain().shed_between(from).len();
+            let added = self.chain().added_between(from).len();
+            self.observe_level_op(OpKind::Adjust, sw, &ct, shed, added, false);
+        }
         Ok(ct)
     }
 
@@ -499,6 +656,8 @@ impl<'a> Evaluator<'a> {
         d: &RnsPoly,
         ksk: &KeySwitchKey,
     ) -> Result<(RnsPoly, RnsPoly), EvalError> {
+        bp_telemetry::counters::add(bp_telemetry::counters::Counter::KeySwitches, 1);
+        let _span = bp_telemetry::spans::span(bp_telemetry::spans::SpanKind::KeySwitch);
         let pool = self.ctx.pool();
         let active = d.moduli();
         let special = self.chain().special();

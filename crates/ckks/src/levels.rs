@@ -65,6 +65,7 @@ pub fn adjust_one(
     if l == 0 {
         return Err(EvalError::LevelExhausted { op: "adjust" });
     }
+    bp_telemetry::counters::add(bp_telemetry::counters::Counter::Adjusts, 1);
     // K = (Q_L / Q_{L-1}) * (S_{L-1} / S_L); in RNS-CKKS Q_L/Q_{L-1} is just
     // the shed group, so this specializes to Listing 2's q_{L-1}*S_{L-1}/S_L.
     let mut k = FactoredScale::one();

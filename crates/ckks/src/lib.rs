@@ -67,6 +67,9 @@ mod security;
 pub mod wire;
 
 pub use bp_rns::BpThreadPool;
+// Re-exported so downstream crates (bench binaries, tests) drive the
+// instrumentation layer without naming bp-telemetry as a dependency.
+pub use bp_telemetry as telemetry;
 pub use chain::{ChainError, ConverterCache, LevelInfo, ModulusChain};
 pub use ciphertext::Ciphertext;
 pub use context::{CkksContext, ContextError, KeySet};

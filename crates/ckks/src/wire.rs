@@ -67,6 +67,7 @@ impl From<IntegrityError> for WireError {
 
 /// Serializes a ciphertext to bytes.
 pub fn write_ciphertext(ct: &Ciphertext) -> Vec<u8> {
+    let _span = bp_telemetry::spans::span(bp_telemetry::spans::SpanKind::Serialize);
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
@@ -88,6 +89,10 @@ pub fn write_ciphertext(ct: &Ciphertext) -> Vec<u8> {
             }
         }
     }
+    bp_telemetry::counters::add(
+        bp_telemetry::counters::Counter::BytesSerialized,
+        out.len() as u64,
+    );
     out
 }
 
@@ -156,6 +161,7 @@ impl<'a> Reader<'a> {
 /// not match the context's chain; [`WireError::Integrity`] when the
 /// decoded ciphertext fails [`Ciphertext::validate`].
 pub fn read_ciphertext(ctx: &CkksContext, bytes: &[u8]) -> Result<Ciphertext, WireError> {
+    let _span = bp_telemetry::spans::span(bp_telemetry::spans::SpanKind::Deserialize);
     let mut r = Reader { buf: bytes, pos: 0 };
     if r.take(4)? != MAGIC {
         return Err(WireError::Malformed("bad magic".into()));

@@ -25,11 +25,20 @@
 //! the process-wide default ([`BpThreadPool::global`]) honours the
 //! `BITPACKER_THREADS` environment variable, falling back to the machine's
 //! available parallelism.
+//!
+//! With the `telemetry` feature, every parallel fan-out additionally
+//! records pool-utilization statistics (dispatches, chunks, per-worker
+//! busy nanoseconds, and max−min chunk imbalance) into the
+//! `bp-telemetry` counters; without it the hooks compile to nothing.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use bp_telemetry::counters::{self, Counter};
 
 /// Upper bound applied to *automatically derived* worker counts
 /// (environment variable or detected parallelism). Explicit
@@ -39,6 +48,53 @@ const AUTO_WORKER_CAP: usize = 64;
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV_VAR: &str = "BITPACKER_THREADS";
+
+/// Per-dispatch pool-utilization telemetry: one busy-time slot per chunk,
+/// folded into the global `par_*` counters when the dispatch joins.
+///
+/// Only constructed when telemetry is live (`None` otherwise), so the
+/// default build pays nothing — no allocation, no clock reads.
+struct FanoutStats {
+    chunk_ns: Vec<AtomicU64>,
+}
+
+impl FanoutStats {
+    /// Records the dispatch and allocates `chunks` busy-time slots, or
+    /// returns `None` when telemetry is off.
+    fn begin(chunks: usize) -> Option<Self> {
+        if !bp_telemetry::enabled() {
+            return None;
+        }
+        counters::add(Counter::ParDispatches, 1);
+        counters::add(Counter::ParChunks, chunks as u64);
+        Some(Self {
+            chunk_ns: (0..chunks).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    /// Stores the busy time of chunk `idx`, measured from `start`.
+    fn record(&self, idx: usize, start: Instant) {
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.chunk_ns[idx].store(ns, Ordering::Relaxed);
+    }
+
+    /// Folds this dispatch into the global counters: summed busy time
+    /// and the max−min chunk spread (the imbalance a static partition
+    /// leaves on the table).
+    fn finish(self) {
+        let mut total = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for slot in &self.chunk_ns {
+            let ns = slot.load(Ordering::Relaxed);
+            total = total.saturating_add(ns);
+            min = min.min(ns);
+            max = max.max(ns);
+        }
+        counters::add(Counter::ParBusyNs, total);
+        counters::add(Counter::ParImbalanceNs, max.saturating_sub(min));
+    }
+}
 
 /// A deterministic fork-join executor with a fixed worker count.
 ///
@@ -119,26 +175,42 @@ impl BpThreadPool {
             return;
         }
         let chunk = items.len().div_ceil(jobs);
+        let stats = FanoutStats::begin(items.len().div_ceil(chunk));
         std::thread::scope(|s| {
             let mut rest = items;
             let mut base = 0usize;
+            let mut chunk_idx = 0usize;
             while rest.len() > chunk {
                 let (head, tail) = rest.split_at_mut(chunk);
                 let fr = &f;
+                let st = stats.as_ref();
+                let ci = chunk_idx;
                 s.spawn(move || {
+                    let t0 = st.map(|_| Instant::now());
                     for (off, item) in head.iter_mut().enumerate() {
                         fr(base + off, item);
                     }
+                    if let (Some(st), Some(t0)) = (st, t0) {
+                        st.record(ci, t0);
+                    }
                 });
                 base += chunk;
+                chunk_idx += 1;
                 rest = tail;
             }
             // Final chunk runs on the calling thread; the scope joins the
             // spawned workers (propagating any panic) before returning.
+            let t0 = stats.as_ref().map(|_| Instant::now());
             for (off, item) in rest.iter_mut().enumerate() {
                 f(base + off, item);
             }
+            if let (Some(st), Some(t0)) = (stats.as_ref(), t0) {
+                st.record(chunk_idx, t0);
+            }
         });
+        if let Some(st) = stats {
+            st.finish();
+        }
     }
 
     /// Runs `f(index)` for every index in `0..len` across the pool's
@@ -156,22 +228,38 @@ impl BpThreadPool {
             return;
         }
         let chunk = len.div_ceil(jobs);
+        let stats = FanoutStats::begin(len.div_ceil(chunk));
         std::thread::scope(|s| {
             let mut start = 0usize;
+            let mut chunk_idx = 0usize;
             while start + chunk < len {
                 let end = start + chunk;
                 let fr = &f;
+                let st = stats.as_ref();
+                let ci = chunk_idx;
                 s.spawn(move || {
+                    let t0 = st.map(|_| Instant::now());
                     for i in start..end {
                         fr(i);
                     }
+                    if let (Some(st), Some(t0)) = (st, t0) {
+                        st.record(ci, t0);
+                    }
                 });
                 start = end;
+                chunk_idx += 1;
             }
+            let t0 = stats.as_ref().map(|_| Instant::now());
             for i in start..len {
                 f(i);
             }
+            if let (Some(st), Some(t0)) = (stats.as_ref(), t0) {
+                st.record(chunk_idx, t0);
+            }
         });
+        if let Some(st) = stats {
+            st.finish();
+        }
     }
 
     /// Computes `f(index)` for every index in `0..len` in parallel and

@@ -1,0 +1,45 @@
+//! Pool-utilization telemetry: fan-outs record dispatches, chunks, busy
+//! time, and imbalance; sequential execution records nothing. Own
+//! process (integration test) because the counters are global.
+
+#![cfg(feature = "telemetry")]
+
+use bp_par::BpThreadPool;
+use bp_telemetry::counters::{self, Counter};
+
+#[test]
+fn fanout_records_utilization_and_sequential_does_not() {
+    bp_telemetry::set_enabled(true);
+    bp_telemetry::reset();
+
+    // Sequential pool: the fan-out path is never entered.
+    let seq = BpThreadPool::sequential();
+    let mut v = vec![0u64; 64];
+    seq.par_for_each_mut(&mut v, |i, x| *x = i as u64);
+    assert_eq!(counters::get(Counter::ParDispatches), 0);
+    assert_eq!(counters::get(Counter::ParChunks), 0);
+
+    // Parallel pool: one dispatch, four chunks, nonzero busy time.
+    let pool = BpThreadPool::new(4);
+    pool.par_for_each_mut(&mut v, |i, x| {
+        // Enough work per element for a measurable busy time.
+        let mut acc = i as u64;
+        for _ in 0..10_000 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        *x = acc;
+    });
+    assert_eq!(counters::get(Counter::ParDispatches), 1);
+    assert_eq!(counters::get(Counter::ParChunks), 4);
+    assert!(counters::get(Counter::ParBusyNs) > 0);
+
+    // par_for_each and par_map dispatch too.
+    pool.par_for_each(64, |_| {});
+    let _ = pool.par_map(64, |i| i);
+    assert_eq!(counters::get(Counter::ParDispatches), 3);
+
+    // The runtime gate silences recording without a rebuild.
+    bp_telemetry::set_enabled(false);
+    pool.par_for_each(64, |_| {});
+    assert_eq!(counters::get(Counter::ParDispatches), 3);
+}

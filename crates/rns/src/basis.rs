@@ -141,6 +141,8 @@ impl BasisConverter {
                     .collect(),
             });
         }
+        bp_telemetry::counters::add(bp_telemetry::counters::Counter::BasisConversions, 1);
+        let _span = bp_telemetry::spans::span(bp_telemetry::spans::SpanKind::BasisConvert);
         let ex = Arc::clone(self.src_tables[0].threads());
 
         // tᵢ = xᵢ · (P/pᵢ)⁻¹ mod pᵢ — independent per source residue.

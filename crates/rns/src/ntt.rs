@@ -134,6 +134,8 @@ impl NttTable {
     /// Panics if `a.len() != N`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch");
+        bp_telemetry::counters::add(bp_telemetry::counters::Counter::NttForward, 1);
+        let _span = bp_telemetry::spans::span(bp_telemetry::spans::SpanKind::NttForward);
         let m = &self.modulus;
         // Pre-scale by psi powers; outputs may stay in [0, 2q).
         for (x, &(w, ws)) in a.iter_mut().zip(&self.psi_pows) {
@@ -151,6 +153,8 @@ impl NttTable {
     /// Panics if `a.len() != N`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch");
+        bp_telemetry::counters::add(bp_telemetry::counters::Counter::NttInverse, 1);
+        let _span = bp_telemetry::spans::span(bp_telemetry::spans::SpanKind::NttInverse);
         let m = &self.modulus;
         self.cyclic_lazy(a, &self.inv_omega_pows);
         // Post-scale by N^{-1} psi^{-j}; mul_shoup fully reduces any u64,

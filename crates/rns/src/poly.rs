@@ -10,7 +10,20 @@
 use crate::{NttTable, PrimePool, RnsError};
 use bp_math::BigUint;
 use bp_par::BpThreadPool;
+use bp_telemetry::counters::Counter;
 use std::sync::Arc;
+
+/// Telemetry: one elementwise kernel pass over `residues` residues.
+#[inline]
+fn count_elemwise(residues: usize) {
+    bp_telemetry::counters::add(Counter::ElemwiseOps, residues as u64);
+}
+
+/// Telemetry: `k` residues shed, extracted, or appended.
+#[inline]
+fn count_residue_moves(k: usize) {
+    bp_telemetry::counters::add(Counter::ResidueMoves, k as u64);
+}
 
 /// Representation domain of a polynomial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,6 +281,7 @@ impl RnsPoly {
     /// [`RnsError`] if the operands are not layout-compatible.
     pub fn add_assign(&mut self, other: &Self) -> Result<(), RnsError> {
         self.check_compatible(other)?;
+        count_elemwise(self.residues.len());
         let rhs = other.residues.as_slice();
         self.for_each_residue_mut(|i, a| {
             let m = *a.table.modulus();
@@ -301,6 +315,7 @@ impl RnsPoly {
     /// [`RnsError`] if the operands are not layout-compatible.
     pub fn sub_assign(&mut self, other: &Self) -> Result<(), RnsError> {
         self.check_compatible(other)?;
+        count_elemwise(self.residues.len());
         let rhs = other.residues.as_slice();
         self.for_each_residue_mut(|i, a| {
             let m = *a.table.modulus();
@@ -314,6 +329,7 @@ impl RnsPoly {
     /// Negation.
     #[must_use]
     pub fn neg(&self) -> Self {
+        count_elemwise(self.residues.len());
         let mut out = self.clone();
         out.for_each_residue_mut(|_, r| {
             let m = *r.table.modulus();
@@ -357,6 +373,7 @@ impl RnsPoly {
             });
         }
         self.check_compatible(other)?;
+        count_elemwise(self.residues.len());
         let rhs = other.residues.as_slice();
         self.for_each_residue_mut(|i, a| {
             let m = *a.table.modulus();
@@ -385,6 +402,7 @@ impl RnsPoly {
         }
         self.check_compatible(x)?;
         self.check_compatible(y)?;
+        count_elemwise(self.residues.len());
         let xs = x.residues.as_slice();
         let ys = y.residues.as_slice();
         self.for_each_residue_mut(|i, acc| {
@@ -410,6 +428,7 @@ impl RnsPoly {
                 found: consts.len(),
             });
         }
+        count_elemwise(self.residues.len());
         self.for_each_residue_mut(|i, r| {
             let m = *r.table.modulus();
             let c = m.reduce(consts[i]);
@@ -496,6 +515,7 @@ impl RnsPoly {
                 need: k,
             });
         }
+        count_residue_moves(k);
         let keep = self.residues.len() - k;
         self.moduli.truncate(keep);
         Ok(self.residues.split_off(keep))
@@ -519,6 +539,7 @@ impl RnsPoly {
             self.moduli.remove(idx);
             out.push(self.residues.remove(idx));
         }
+        count_residue_moves(out.len());
         Ok(out)
     }
 
@@ -537,6 +558,7 @@ impl RnsPoly {
                 });
             }
         }
+        count_residue_moves(tables.len());
         for t in tables {
             self.moduli.push(t.modulus().value());
             self.residues.push(ResiduePoly::zero(Arc::clone(t)));

@@ -34,6 +34,7 @@ pub fn rns_rescale_once(poly: &mut RnsPoly) -> Result<(), RnsError> {
             need: 2,
         });
     }
+    bp_telemetry::counters::add(bp_telemetry::counters::Counter::Rescales, 1);
     let domain = poly.domain();
     let last = poly.pop_residues(1)?.pop().expect("one residue");
     let q_last = last.modulus();
@@ -174,6 +175,7 @@ fn apply_scale_down(
     shed: &[crate::ResiduePoly],
     conv: &BasisConverter,
 ) -> Result<(), RnsError> {
+    bp_telemetry::counters::add(bp_telemetry::counters::Counter::Rescales, 1);
     let domain = poly.domain();
     // subMe ≈ (x mod P) represented in the kept basis.
     let corrections = conv.convert_from(shed, domain, domain)?;

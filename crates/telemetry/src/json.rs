@@ -1,0 +1,525 @@
+//! A dependency-free JSON value, writer, and recursive-descent parser.
+//!
+//! The build environment vendors its external crates as offline
+//! stand-ins, so `serde` is not available; the telemetry trace codec and
+//! the bench metadata headers need only a small, strict JSON subset:
+//! objects, arrays, strings, finite numbers, booleans, and null. The
+//! writer emits deterministic output (object keys in insertion order,
+//! numbers via shortest-roundtrip `{}` formatting); the parser rejects
+//! trailing garbage and enforces a recursion-depth limit.
+//!
+//! This module is compiled regardless of the `enabled` feature: replay
+//! tooling and schema validation must work on traces produced elsewhere.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth accepted by [`Json::parse`].
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (JSON has one number type; integers round-trip
+    /// exactly up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys are kept sorted (BTreeMap) so emitted documents
+    /// are deterministic; use [`Obj`] to build objects in insertion
+    /// order when field order matters for readability.
+    Obj(BTreeMap<String, Json>),
+}
+
+/// JSON parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset in the input where the error was detected.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses a complete JSON document, rejecting trailing non-space.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// The value at `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string content if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a u64 if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value as compact JSON.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out);
+        out
+    }
+}
+
+/// An order-preserving JSON object builder for emitted documents, where
+/// field order is part of the human-readable contract (metadata headers
+/// first, bulk data last).
+#[derive(Debug, Clone, Default)]
+pub struct Obj {
+    fields: Vec<(String, String)>,
+}
+
+impl Obj {
+    /// An empty object builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a field with an already-serialized JSON value.
+    pub fn raw(mut self, key: &str, json_value: String) -> Self {
+        self.fields.push((key.to_string(), json_value));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let mut s = String::new();
+        write_string(value, &mut s);
+        self.raw(key, s)
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Appends a finite float field (non-finite values become `null`).
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        self.raw(key, write_number(value))
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, if value { "true" } else { "false" }.to_string())
+    }
+
+    /// Appends an array field from already-serialized element values.
+    pub fn arr(self, key: &str, elems: Vec<String>) -> Self {
+        self.raw(key, format!("[{}]", elems.join(",")))
+    }
+
+    /// Serializes the object, fields in insertion order.
+    pub fn build(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_string(k, &mut out);
+            out.push(':');
+            out.push_str(v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn write_value(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => out.push_str(&write_number(*n)),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+        // Integral values print without a fraction for readability.
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            at: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so slices
+                    // at char boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        // self.pos is at 'u'.
+        let hex4 = |p: &mut Self| -> Result<u32, JsonError> {
+            p.pos += 1; // past 'u'
+            if p.pos + 4 > p.bytes.len() {
+                return Err(p.err("truncated \\u escape"));
+            }
+            let s = std::str::from_utf8(&p.bytes[p.pos..p.pos + 4])
+                .map_err(|_| p.err("invalid \\u escape"))?;
+            let v = u32::from_str_radix(s, 16).map_err(|_| p.err("invalid \\u escape"))?;
+            p.pos += 4;
+            Ok(v)
+        };
+        let hi = hex4(self)?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: require a following \uXXXX low surrogate.
+            if self.peek() == Some(b'\\') {
+                self.pos += 1;
+                if self.peek() == Some(b'u') {
+                    let lo = hex4(self)?;
+                    if (0xDC00..0xE000).contains(&lo) {
+                        let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        return char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate"));
+                    }
+                }
+            }
+            return Err(self.err("unpaired surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("invalid codepoint"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        s.parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compound_document() {
+        let src = r#"{"a": [1, 2.5, -3], "b": {"nested": true}, "s": "hi\nthere", "z": null}"#;
+        let v = Json::parse(src).unwrap();
+        let emitted = v.to_string_compact();
+        assert_eq!(Json::parse(&emitted).unwrap(), v);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("b").unwrap().get("nested").unwrap().as_bool(),
+            Some(true)
+        );
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hi\nthere"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_numbers() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("01a").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn obj_builder_preserves_insertion_order() {
+        let doc = Obj::new()
+            .str("schema", "test/v1")
+            .u64("count", 7)
+            .f64("ratio", 0.5)
+            .bool("ok", true)
+            .build();
+        assert!(doc.starts_with("{\"schema\""));
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = Json::parse(r#""é😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("é😀"));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err());
+    }
+}

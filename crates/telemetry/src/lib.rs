@@ -1,0 +1,158 @@
+//! Instrumentation layer for the BitPacker stack.
+//!
+//! The paper's evaluation (Sec. 5–6) is built on kernel-level accounting:
+//! per-benchmark op mixes, keyswitch/NTT counts, and noise/scale
+//! trajectories. This crate gives the Rust reproduction the same
+//! visibility, organised as four small modules that read as one system:
+//!
+//! * [`counters`] — lock-free global counters for the arithmetic kernels
+//!   (NTT/INTT invocations, elementwise residue ops, basis conversions,
+//!   keyswitches, rescales, residue moves, serialized bytes) and for the
+//!   thread pool (dispatches, chunks, busy time, imbalance),
+//! * [`spans`] — RAII timing spans aggregated per hot-path kind,
+//! * [`events`] — a bounded in-process event stream carrying per-op
+//!   noise/scale snapshots and evaluator repair events,
+//! * [`trace`] — the [`trace::EvalTrace`] op-trace recorder whose JSON
+//!   form replays through `bp-accel` for a predicted cycle/energy report,
+//! * [`json`] — the dependency-free JSON reader/writer used by the trace
+//!   codec and the bench metadata headers.
+//!
+//! # Feature gating and overhead
+//!
+//! The crate compiles in two modes controlled by the `enabled` cargo
+//! feature (downstream crates forward it as `telemetry`):
+//!
+//! * **feature off** (default): every recording entry point —
+//!   [`counters::add`], [`spans::span`], [`events::emit`],
+//!   [`trace::record_op`] — is an `#[inline(always)]` empty function and
+//!   [`enabled`] is a `const false`, so guarded blocks are eliminated at
+//!   compile time. All counter reads return zero. The data model types
+//!   ([`trace::EvalTrace`], [`events::Event`], …) and the [`json`] module
+//!   remain available so replay tooling builds without the feature.
+//! * **feature on**: recording is live, gated at runtime by the
+//!   `BITPACKER_TELEMETRY` environment variable (read once; set it to
+//!   `0`, `false`, or `off` to disable) or programmatically via
+//!   [`set_enabled`]. Counters are relaxed atomics; the event stream and
+//!   trace recorder are bounded, mutex-guarded vectors.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod counters;
+pub mod events;
+pub mod json;
+pub mod spans;
+pub mod trace;
+
+/// Environment variable gating recording at runtime when the `enabled`
+/// feature is compiled in. Unset or any value other than `0` / `false` /
+/// `off` (case-insensitive) means recording is on.
+pub const TELEMETRY_ENV_VAR: &str = "BITPACKER_TELEMETRY";
+
+#[cfg(feature = "enabled")]
+mod gate {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::OnceLock;
+
+    static OVERRIDE: OnceLock<AtomicBool> = OnceLock::new();
+
+    fn cell() -> &'static AtomicBool {
+        OVERRIDE.get_or_init(|| {
+            let on = match std::env::var(super::TELEMETRY_ENV_VAR) {
+                Ok(v) => !matches!(
+                    v.trim().to_ascii_lowercase().as_str(),
+                    "0" | "false" | "off"
+                ),
+                Err(_) => true,
+            };
+            AtomicBool::new(on)
+        })
+    }
+
+    #[inline]
+    pub fn enabled() -> bool {
+        cell().load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(on: bool) {
+        cell().store(on, Ordering::Relaxed);
+    }
+}
+
+/// Whether telemetry recording is live.
+///
+/// With the `enabled` feature off this is a constant `false`, so
+/// `if telemetry::enabled() { … }` blocks compile away entirely.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn enabled() -> bool {
+    gate::enabled()
+}
+
+/// Whether telemetry recording is live (feature off: always `false`).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn enabled() -> bool {
+    false
+}
+
+/// Overrides the runtime gate (tests, embedding harnesses). A no-op when
+/// the `enabled` feature is off.
+#[cfg(feature = "enabled")]
+pub fn set_enabled(on: bool) {
+    gate::set_enabled(on);
+}
+
+/// Overrides the runtime gate (feature off: no-op).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn set_enabled(_on: bool) {}
+
+/// Resets every telemetry store — counters, span aggregates, the event
+/// stream, and the trace recorder — to the pristine state. Intended for
+/// test isolation and windowed reporting.
+pub fn reset() {
+    counters::reset_all();
+    spans::reset_all();
+    events::reset();
+    trace::reset();
+}
+
+/// A monotonic stopwatch that only pays for `Instant::now()` when
+/// telemetry is live. The disabled reading is 0 ns.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    #[cfg(feature = "enabled")]
+    start: Option<std::time::Instant>,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch (a no-op unless telemetry is live).
+    #[inline]
+    pub fn start() -> Self {
+        Self {
+            #[cfg(feature = "enabled")]
+            start: if enabled() {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`]; 0 if telemetry was not live
+    /// when the stopwatch was started.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.start
+                .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+                .unwrap_or(0)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! The op-trace recorder: an append-only record of every evaluator op
+//! (kind, level, basis size, timing, noise/scale snapshot) that
+//! serializes to JSON and replays through the `bp-accel` performance
+//! model.
+//!
+//! Recording goes through a single entry point, [`record_op`], which
+//! bumps the `eval_ops` counter, folds the duration into the `eval_op`
+//! span aggregate, emits an [`crate::events::Event::Op`] on the event
+//! stream, and appends a [`TraceEntry`] to the global recorder. The
+//! recorder is drained with [`take`], yielding an [`EvalTrace`].
+//!
+//! The data model ([`OpKind`], [`TraceEntry`], [`TraceMeta`],
+//! [`EvalTrace`]) and the JSON codec compile regardless of the `enabled`
+//! feature so replay tooling can consume traces produced elsewhere; only
+//! the global recorder is feature-gated.
+
+#[cfg(feature = "enabled")]
+use crate::counters::{self, Counter};
+use crate::json::{Json, JsonError, Obj};
+#[cfg(feature = "enabled")]
+use crate::spans::{self, SpanKind};
+
+/// Schema identifier written into serialized traces.
+pub const TRACE_SCHEMA: &str = "bitpacker-eval-trace/v1";
+
+/// Maximum entries retained by the global recorder between [`take`]
+/// calls; overflow is counted in [`EvalTrace::dropped`].
+pub const TRACE_CAP: usize = 1 << 20;
+
+/// The public evaluator ops that appear in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Ciphertext + ciphertext addition.
+    Add,
+    /// Ciphertext − ciphertext subtraction.
+    Sub,
+    /// Ciphertext negation.
+    Negate,
+    /// Ciphertext + plaintext addition.
+    AddPlain,
+    /// Ciphertext − plaintext subtraction.
+    SubPlain,
+    /// Ciphertext × plaintext multiplication.
+    MulPlain,
+    /// Ciphertext × ciphertext multiplication (with relinearization).
+    Mul,
+    /// Ciphertext squaring (with relinearization).
+    Square,
+    /// Slot rotation (automorphism + keyswitch).
+    Rotate,
+    /// Complex conjugation (automorphism + keyswitch).
+    Conjugate,
+    /// Explicit or repair rescale.
+    Rescale,
+    /// Explicit or repair level adjust (one trace entry per level step).
+    Adjust,
+}
+
+/// Number of op kinds in [`OpKind::ALL`].
+pub const NUM_OP_KINDS: usize = 12;
+
+impl OpKind {
+    /// Every op kind, in stable report order.
+    pub const ALL: [OpKind; NUM_OP_KINDS] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Negate,
+        OpKind::AddPlain,
+        OpKind::SubPlain,
+        OpKind::MulPlain,
+        OpKind::Mul,
+        OpKind::Square,
+        OpKind::Rotate,
+        OpKind::Conjugate,
+        OpKind::Rescale,
+        OpKind::Adjust,
+    ];
+
+    /// Stable snake_case name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Negate => "negate",
+            OpKind::AddPlain => "add_plain",
+            OpKind::SubPlain => "sub_plain",
+            OpKind::MulPlain => "mul_plain",
+            OpKind::Mul => "mul",
+            OpKind::Square => "square",
+            OpKind::Rotate => "rotate",
+            OpKind::Conjugate => "conjugate",
+            OpKind::Rescale => "rescale",
+            OpKind::Adjust => "adjust",
+        }
+    }
+
+    /// Inverse of [`OpKind::name`].
+    pub fn from_name(name: &str) -> Option<OpKind> {
+        OpKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+/// One recorded evaluator op, before sequencing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpRecord {
+    /// Which op ran.
+    pub kind: OpKind,
+    /// Result ciphertext level.
+    pub level: usize,
+    /// Result basis size (residue count) — the paper's `R`.
+    pub residues: usize,
+    /// Residues shed by this op (rescale/adjust; 0 otherwise).
+    pub shed: usize,
+    /// Residues added by this op (BitPacker adjust; 0 otherwise).
+    pub added: usize,
+    /// Whether shed/added limbs move through the batched (packed)
+    /// BitPacker path rather than the RNS-CKKS baseline path.
+    pub batched: bool,
+    /// `true` when the op was performed by the auto-align repair loop
+    /// rather than requested by the caller.
+    pub repair: bool,
+    /// Wall-clock duration of the op in nanoseconds.
+    pub duration_ns: u64,
+    /// Estimated noise magnitude of the result, in bits.
+    pub noise_bits: f64,
+    /// Remaining clear bits (message headroom) of the result.
+    pub clear_bits: f64,
+    /// `log2` of the exact scale of the result.
+    pub scale_log2: f64,
+}
+
+/// A sequenced [`OpRecord`] inside a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Position in the recorded op stream (0-based, monotonic).
+    pub seq: u64,
+    /// The recorded op.
+    pub op: OpRecord,
+}
+
+/// Static context a trace carries so it can replay through the
+/// accelerator model without the originating `CkksContext`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Workload label (e.g. `mul_relin_rescale`).
+    pub workload: String,
+    /// Ring dimension `N`.
+    pub n: usize,
+    /// Hybrid keyswitch digit count (`dnum`).
+    pub dnum: usize,
+    /// Number of special (raised-basis) primes.
+    pub special: usize,
+    /// Residue word width in bits.
+    pub word_bits: u32,
+}
+
+impl Default for TraceMeta {
+    fn default() -> Self {
+        Self {
+            workload: String::from("unlabeled"),
+            n: 0,
+            dnum: 1,
+            special: 1,
+            word_bits: 28,
+        }
+    }
+}
+
+/// A complete recorded op trace: metadata plus sequenced entries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EvalTrace {
+    /// Static replay context.
+    pub meta: TraceMeta,
+    /// The recorded ops in program order.
+    pub entries: Vec<TraceEntry>,
+    /// Entries discarded because the recorder was full.
+    pub dropped: u64,
+}
+
+impl EvalTrace {
+    /// Total recorded wall-clock nanoseconds across entries.
+    pub fn total_ns(&self) -> u64 {
+        self.entries.iter().map(|e| e.op.duration_ns).sum()
+    }
+
+    /// Serializes the trace as a compact JSON document with the
+    /// [`TRACE_SCHEMA`] header.
+    pub fn to_json(&self) -> String {
+        self.write_into(Obj::new().str("schema", TRACE_SCHEMA))
+    }
+
+    /// Appends the trace payload (`meta`, `dropped`, `entries`) to an
+    /// order-preserving object builder — callers prepend their own
+    /// metadata header fields — and serializes the result.
+    pub fn write_into(&self, obj: Obj) -> String {
+        let meta = Obj::new()
+            .str("workload", &self.meta.workload)
+            .u64("n", self.meta.n as u64)
+            .u64("dnum", self.meta.dnum as u64)
+            .u64("special", self.meta.special as u64)
+            .u64("word_bits", u64::from(self.meta.word_bits))
+            .build();
+        let entries: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| {
+                Obj::new()
+                    .u64("seq", e.seq)
+                    .str("op", e.op.kind.name())
+                    .u64("level", e.op.level as u64)
+                    .u64("residues", e.op.residues as u64)
+                    .u64("shed", e.op.shed as u64)
+                    .u64("added", e.op.added as u64)
+                    .bool("batched", e.op.batched)
+                    .bool("repair", e.op.repair)
+                    .u64("duration_ns", e.op.duration_ns)
+                    .f64("noise_bits", e.op.noise_bits)
+                    .f64("clear_bits", e.op.clear_bits)
+                    .f64("scale_log2", e.op.scale_log2)
+                    .build()
+            })
+            .collect();
+        obj.raw("meta", meta)
+            .u64("dropped", self.dropped)
+            .arr("entries", entries)
+            .build()
+    }
+
+    /// Parses a serialized trace, validating the schema identifier and
+    /// required fields.
+    pub fn from_json(input: &str) -> Result<EvalTrace, JsonError> {
+        let doc = Json::parse(input)?;
+        let fail = |msg: &str| JsonError {
+            at: 0,
+            msg: msg.to_string(),
+        };
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing schema"))?;
+        if !schema.starts_with("bitpacker-eval-trace/") {
+            return Err(fail("not an eval-trace document"));
+        }
+        let meta_doc = doc.get("meta").ok_or_else(|| fail("missing meta"))?;
+        let meta_u64 = |key: &str| {
+            meta_doc
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| fail(&format!("meta.{key} missing or invalid")))
+        };
+        let meta = TraceMeta {
+            workload: meta_doc
+                .get("workload")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail("meta.workload missing"))?
+                .to_string(),
+            n: meta_u64("n")? as usize,
+            dnum: meta_u64("dnum")? as usize,
+            special: meta_u64("special")? as usize,
+            word_bits: meta_u64("word_bits")? as u32,
+        };
+        let entries_doc = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| fail("missing entries array"))?;
+        let mut entries = Vec::with_capacity(entries_doc.len());
+        for (i, e) in entries_doc.iter().enumerate() {
+            let e_u64 = |key: &str| {
+                e.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| fail(&format!("entries[{i}].{key} missing or invalid")))
+            };
+            let e_f64 = |key: &str| {
+                e.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| fail(&format!("entries[{i}].{key} missing or invalid")))
+            };
+            let kind_name = e
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail(&format!("entries[{i}].op missing")))?;
+            let kind = OpKind::from_name(kind_name)
+                .ok_or_else(|| fail(&format!("entries[{i}].op unknown: {kind_name}")))?;
+            entries.push(TraceEntry {
+                seq: e_u64("seq")?,
+                op: OpRecord {
+                    kind,
+                    level: e_u64("level")? as usize,
+                    residues: e_u64("residues")? as usize,
+                    shed: e_u64("shed")? as usize,
+                    added: e_u64("added")? as usize,
+                    batched: e.get("batched").and_then(Json::as_bool).unwrap_or(false),
+                    repair: e.get("repair").and_then(Json::as_bool).unwrap_or(false),
+                    duration_ns: e_u64("duration_ns")?,
+                    noise_bits: e_f64("noise_bits")?,
+                    clear_bits: e_f64("clear_bits")?,
+                    scale_log2: e_f64("scale_log2")?,
+                },
+            });
+        }
+        Ok(EvalTrace {
+            meta,
+            entries,
+            dropped: doc.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod store {
+    use super::{EvalTrace, TraceEntry, TraceMeta, TRACE_CAP};
+    use std::sync::Mutex;
+
+    struct Recorder {
+        meta: TraceMeta,
+        entries: Vec<TraceEntry>,
+        next_seq: u64,
+        dropped: u64,
+    }
+
+    static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
+
+    fn with<R>(f: impl FnOnce(&mut Recorder) -> R) -> R {
+        let mut guard = RECORDER.lock().unwrap_or_else(|e| e.into_inner());
+        let rec = guard.get_or_insert_with(|| Recorder {
+            meta: TraceMeta::default(),
+            entries: Vec::new(),
+            next_seq: 0,
+            dropped: 0,
+        });
+        f(rec)
+    }
+
+    pub fn set_meta(meta: TraceMeta) {
+        with(|rec| rec.meta = meta);
+    }
+
+    /// Appends `op`, returning the sequenced entry for the event stream
+    /// (`None` when the recorder is full and the op was counted as
+    /// dropped).
+    pub fn push(op: super::OpRecord) -> Option<TraceEntry> {
+        with(|rec| {
+            if rec.entries.len() < TRACE_CAP {
+                let seq = rec.next_seq;
+                rec.next_seq += 1;
+                let entry = TraceEntry { seq, op };
+                rec.entries.push(entry.clone());
+                Some(entry)
+            } else {
+                rec.dropped += 1;
+                None
+            }
+        })
+    }
+
+    pub fn take() -> EvalTrace {
+        with(|rec| {
+            let trace = EvalTrace {
+                meta: rec.meta.clone(),
+                entries: std::mem::take(&mut rec.entries),
+                dropped: rec.dropped,
+            };
+            rec.next_seq = 0;
+            rec.dropped = 0;
+            trace
+        })
+    }
+
+    pub fn reset() {
+        let mut guard = RECORDER.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = None;
+    }
+}
+
+/// Sets the static replay context attached to the next [`take`] (feature
+/// off: no-op).
+pub fn set_meta(meta: TraceMeta) {
+    #[cfg(feature = "enabled")]
+    store::set_meta(meta);
+    #[cfg(not(feature = "enabled"))]
+    let _ = meta;
+}
+
+/// Records one completed evaluator op: bumps the `eval_ops` counter,
+/// folds the duration into the `eval_op` span aggregate, emits an
+/// [`crate::events::Event::Op`], and appends to the trace recorder.
+/// Feature off: inlined no-op.
+#[inline]
+pub fn record_op(op: OpRecord) {
+    #[cfg(feature = "enabled")]
+    {
+        if crate::enabled() {
+            counters::add(Counter::EvalOps, 1);
+            spans::record(SpanKind::EvalOp, op.duration_ns);
+            if let Some(entry) = store::push(op) {
+                crate::events::emit(crate::events::Event::Op(entry));
+            }
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = op;
+}
+
+/// Drains the recorder, returning the trace accumulated since the last
+/// [`take`] (feature off: an empty default trace).
+pub fn take() -> EvalTrace {
+    #[cfg(feature = "enabled")]
+    {
+        store::take()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        EvalTrace::default()
+    }
+}
+
+/// Clears the recorder, including its metadata.
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    store::reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> EvalTrace {
+        EvalTrace {
+            meta: TraceMeta {
+                workload: "unit".into(),
+                n: 8192,
+                dnum: 3,
+                special: 1,
+                word_bits: 28,
+            },
+            entries: vec![
+                TraceEntry {
+                    seq: 0,
+                    op: OpRecord {
+                        kind: OpKind::Mul,
+                        level: 3,
+                        residues: 5,
+                        shed: 0,
+                        added: 0,
+                        batched: false,
+                        repair: false,
+                        duration_ns: 12_345,
+                        noise_bits: 7.25,
+                        clear_bits: 101.5,
+                        scale_log2: 80.0,
+                    },
+                },
+                TraceEntry {
+                    seq: 1,
+                    op: OpRecord {
+                        kind: OpKind::Rescale,
+                        level: 2,
+                        residues: 4,
+                        shed: 1,
+                        added: 0,
+                        batched: true,
+                        repair: true,
+                        duration_ns: 2_000,
+                        noise_bits: 3.0,
+                        clear_bits: 100.0,
+                        scale_log2: 40.0,
+                    },
+                },
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn trace_json_roundtrip_is_lossless() {
+        let trace = sample_trace();
+        let doc = trace.to_json();
+        let back = EvalTrace::from_json(&doc).expect("roundtrip parse");
+        assert_eq!(back, trace);
+        assert_eq!(back.total_ns(), 14_345);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema_and_unknown_op() {
+        assert!(EvalTrace::from_json("{\"schema\":\"other/v1\"}").is_err());
+        let mut doc = sample_trace().to_json();
+        doc = doc.replace("\"op\":\"mul\"", "\"op\":\"frobnicate\"");
+        assert!(EvalTrace::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn op_kind_names_roundtrip() {
+        for k in OpKind::ALL {
+            assert_eq!(OpKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(OpKind::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,82 @@
+//! With the `enabled` feature off, every recording entry point must be a
+//! no-op and every read must come back zero/empty — the "true no-op"
+//! contract the hot paths rely on.
+
+#![cfg(not(feature = "enabled"))]
+
+use bp_telemetry::counters::{self, Counter};
+use bp_telemetry::events::{self, Event, RepairKind};
+use bp_telemetry::spans::{self, SpanKind};
+use bp_telemetry::trace::{self, OpKind, OpRecord, TraceMeta};
+
+#[test]
+fn all_reads_are_zero_after_recording_attempts() {
+    assert!(!bp_telemetry::enabled());
+    bp_telemetry::set_enabled(true); // must not enable anything
+    assert!(!bp_telemetry::enabled());
+
+    counters::add(Counter::NttForward, 99);
+    counters::add(Counter::BytesSerialized, 1024);
+    {
+        let _sp = spans::span(SpanKind::KeySwitch);
+    }
+    spans::record(SpanKind::KeySwitch, 5_000);
+    events::emit(Event::Repair {
+        kind: RepairKind::Adjust,
+        op: OpKind::Mul,
+        level: 3,
+    });
+    trace::set_meta(TraceMeta::default());
+    trace::record_op(OpRecord {
+        kind: OpKind::Mul,
+        level: 1,
+        residues: 2,
+        shed: 0,
+        added: 0,
+        batched: false,
+        repair: false,
+        duration_ns: 1,
+        noise_bits: 1.0,
+        clear_bits: 1.0,
+        scale_log2: 1.0,
+    });
+
+    for c in Counter::ALL {
+        assert_eq!(counters::get(c), 0, "counter {} must read zero", c.name());
+    }
+    for k in SpanKind::ALL {
+        let s = spans::stat(k);
+        assert_eq!(
+            (s.count, s.total_ns),
+            (0, 0),
+            "span {} must be zero",
+            k.name()
+        );
+    }
+    assert!(events::drain().is_empty());
+    assert_eq!(events::dropped(), 0);
+    let t = trace::take();
+    assert!(t.entries.is_empty());
+    assert_eq!(t.dropped, 0);
+
+    let sw = bp_telemetry::Stopwatch::start();
+    assert_eq!(sw.elapsed_ns(), 0, "disabled stopwatch reads zero");
+}
+
+#[test]
+fn data_model_and_json_work_without_the_feature() {
+    // Replay tooling parses traces even in feature-off builds.
+    let doc = r#"{"schema":"bitpacker-eval-trace/v1",
+        "meta":{"workload":"w","n":8192,"dnum":3,"special":1,"word_bits":28},
+        "dropped":0,
+        "entries":[{"seq":0,"op":"rescale","level":2,"residues":4,"shed":1,
+                    "added":0,"batched":true,"repair":false,"duration_ns":10,
+                    "noise_bits":2.0,"clear_bits":50.0,"scale_log2":40.0}]}"#;
+    let t = trace::EvalTrace::from_json(doc).expect("parse without feature");
+    assert_eq!(t.entries.len(), 1);
+    assert_eq!(t.entries[0].op.kind, OpKind::Rescale);
+    assert_eq!(
+        trace::EvalTrace::from_json(&t.to_json()).expect("roundtrip"),
+        t
+    );
+}
