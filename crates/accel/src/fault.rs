@@ -1,0 +1,200 @@
+//! Test-only fault injection for the accelerator model.
+//!
+//! Enabled by the `fault-injection` feature. Two fault classes mirror how a
+//! real CraterLake-class part misbehaves:
+//!
+//! * **FU stalls** — a functional unit loses cycles on one trace op (ECC
+//!   scrub, clock-gating glitch, replayed vector op). The roofline model
+//!   absorbs the stall: the op's time only grows if the stalled FU becomes
+//!   the bottleneck, which is exactly how decoupled accelerators hide
+//!   transient slowdowns.
+//! * **Output corruption** — an op's result is flagged bad (parity/ECC
+//!   uncorrectable). The simulation aborts with a typed
+//!   [`SimFaultError::CorruptedOutput`], modeling fail-stop detection.
+//!
+//! Unlike `bp_ckks::fault`, schedules here are plain values (the simulator
+//! is a pure function), so concurrent tests never share fault state.
+
+use crate::config::{AcceleratorConfig, FuKind, FU_KINDS};
+use crate::simulate::{simulate_core, SimReport, TraceOp};
+use crate::TraceContext;
+use std::fmt;
+
+/// One injected FU stall: `extra_cycles` of busy time added to `fu` while
+/// executing trace entry `op_index`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuStall {
+    /// Index into the trace of the affected op.
+    pub op_index: usize,
+    /// The functional unit that stalls.
+    pub fu: FuKind,
+    /// Busy cycles added to that FU for this op.
+    pub extra_cycles: f64,
+}
+
+/// A deterministic fault schedule for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    stalls: Vec<FuStall>,
+    corruptions: Vec<usize>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (equivalent to fault-free simulation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a functional-unit stall.
+    pub fn stall(mut self, op_index: usize, fu: FuKind, extra_cycles: f64) -> Self {
+        self.stalls.push(FuStall {
+            op_index,
+            fu,
+            extra_cycles,
+        });
+        self
+    }
+
+    /// Marks trace entry `op_index` as producing a corrupted (detected
+    /// uncorrectable) output.
+    pub fn corrupt(mut self, op_index: usize) -> Self {
+        self.corruptions.push(op_index);
+        self
+    }
+
+    /// Number of injected faults of both classes.
+    pub fn len(&self) -> usize {
+        self.stalls.len() + self.corruptions.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.stalls.is_empty() && self.corruptions.is_empty()
+    }
+}
+
+/// A fault detected during simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimFaultError {
+    /// Trace entry `op_index` produced an output flagged uncorrectable;
+    /// the run fail-stopped there.
+    CorruptedOutput {
+        /// Index into the trace of the corrupted op.
+        op_index: usize,
+    },
+}
+
+impl fmt::Display for SimFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimFaultError::CorruptedOutput { op_index } => {
+                write!(f, "uncorrectable output corruption at trace op {op_index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimFaultError {}
+
+/// [`crate::simulate`] with a fault schedule applied.
+///
+/// Stalls inflate the scheduled FU's busy time on the scheduled op;
+/// corruptions abort the run with [`SimFaultError::CorruptedOutput`] at the
+/// first affected op (partial work before the fault is discarded, as a
+/// fail-stop machine would).
+pub fn simulate_with_faults(
+    trace: &[TraceOp],
+    cfg: &AcceleratorConfig,
+    ctx: &TraceContext,
+    working_set_mb: f64,
+    faults: &FaultSchedule,
+) -> Result<SimReport, SimFaultError> {
+    simulate_core(trace, cfg, ctx, working_set_mb, |i, _t, fu_cycles| {
+        for stall in &faults.stalls {
+            if stall.op_index != i {
+                continue;
+            }
+            for (slot, kind) in fu_cycles.iter_mut().zip(FU_KINDS) {
+                if kind == stall.fu {
+                    *slot += stall.extra_cycles;
+                }
+            }
+        }
+        if faults.corruptions.contains(&i) {
+            return Err(SimFaultError::CorruptedOutput { op_index: i });
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::FheOp;
+    use crate::simulate::simulate;
+
+    fn ctx() -> TraceContext {
+        TraceContext {
+            n: 1 << 16,
+            dnum: 3,
+            special: 10,
+        }
+    }
+
+    fn trace() -> Vec<TraceOp> {
+        vec![
+            TraceOp {
+                op: FheOp::HMult { r: 30 },
+                count: 10.0,
+            },
+            TraceOp {
+                op: FheOp::Rescale {
+                    r: 30,
+                    shed: 2,
+                    added: 1,
+                    batched: true,
+                },
+                count: 10.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn empty_schedule_matches_fault_free_run() {
+        let cfg = AcceleratorConfig::craterlake();
+        let clean = simulate(&trace(), &cfg, &ctx(), 0.0);
+        let faulted = simulate_with_faults(&trace(), &cfg, &ctx(), 0.0, &FaultSchedule::new())
+            .expect("empty schedule cannot fault");
+        assert_eq!(clean, faulted);
+    }
+
+    #[test]
+    fn dominant_fu_stall_costs_time_and_shadowed_stall_is_hidden() {
+        let cfg = AcceleratorConfig::craterlake();
+        let clean = simulate(&trace(), &cfg, &ctx(), 0.0);
+        // A huge stall on the op-0 bottleneck must surface in total time.
+        let big = FaultSchedule::new().stall(0, FuKind::Crb, clean.cycles * 2.0);
+        let slow = simulate_with_faults(&trace(), &cfg, &ctx(), 0.0, &big)
+            .expect("stalls never abort the run");
+        assert!(
+            slow.cycles > clean.cycles,
+            "bottleneck stall must cost time"
+        );
+        // A one-cycle stall on a non-bottleneck FU is absorbed by the
+        // roofline max: total time is unchanged.
+        let tiny = FaultSchedule::new().stall(0, FuKind::KshGen, 1.0);
+        let hidden = simulate_with_faults(&trace(), &cfg, &ctx(), 0.0, &tiny)
+            .expect("stalls never abort the run");
+        assert_eq!(hidden.cycles, clean.cycles);
+    }
+
+    #[test]
+    fn corruption_fail_stops_with_typed_error() {
+        let cfg = AcceleratorConfig::craterlake();
+        let faults = FaultSchedule::new().corrupt(1);
+        let err = simulate_with_faults(&trace(), &cfg, &ctx(), 0.0, &faults)
+            .expect_err("scheduled corruption must abort");
+        assert_eq!(err, SimFaultError::CorruptedOutput { op_index: 1 });
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -28,13 +28,20 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Same panic-free contract as bp-ckks: library code may not unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod area;
 mod compile;
 mod config;
 mod energy;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod replay;
 mod simulate;
+
+#[cfg(feature = "fault-injection")]
+pub use fault::{simulate_with_faults, FaultSchedule, FuStall, SimFaultError};
 
 pub use compile::{compile, FheOp, OpCategory, TraceContext, Work};
 pub use config::{AcceleratorConfig, FuKind, FU_KINDS};

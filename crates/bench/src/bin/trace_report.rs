@@ -11,13 +11,16 @@
 //! ```
 //!
 //! `--small` drops the ring degree to N=1024 for CI smoke runs; the
-//! default is the paper-scale N=8192 mul+relin+rescale pipeline. An
-//! optional trailing argument overrides the output path.
+//! default is the paper-scale N=8192 mul+relin+rescale pipeline.
+//! `--repairs` adds a per-op column counting ops performed by the
+//! auto-align repair loop (rather than requested by the circuit) and
+//! prints the drained repair/degrade/breaker event stream. An optional
+//! trailing argument overrides the output path.
 
 use bp_accel::AcceleratorConfig;
 use bp_bench::RunMeta;
 use bp_ckks::telemetry::trace::{self, EvalTrace, OpKind, TRACE_SCHEMA};
-use bp_ckks::telemetry::{self, counters, spans};
+use bp_ckks::telemetry::{self, counters, events, spans};
 use bp_ckks::{CkksContext, CkksParams, Representation, SecurityLevel};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
@@ -49,6 +52,7 @@ struct OpSummary {
     count: u64,
     total_ns: u64,
     noise_consumed: f64,
+    repairs: u64,
 }
 
 /// Aggregates the trace per op kind. "Noise consumed" is the growth in
@@ -61,17 +65,20 @@ fn summarize(tr: &EvalTrace) -> Vec<OpSummary> {
     for e in &tr.entries {
         let consumed = (e.op.noise_bits - prev_noise).max(0.0);
         prev_noise = e.op.noise_bits;
+        let repair = u64::from(e.op.repair);
         match out.iter_mut().find(|s| s.kind == e.op.kind) {
             Some(s) => {
                 s.count += 1;
                 s.total_ns += e.op.duration_ns;
                 s.noise_consumed += consumed;
+                s.repairs += repair;
             }
             None => out.push(OpSummary {
                 kind: e.op.kind,
                 count: 1,
                 total_ns: e.op.duration_ns,
                 noise_consumed: consumed,
+                repairs: repair,
             }),
         }
     }
@@ -82,6 +89,7 @@ fn summarize(tr: &EvalTrace) -> Vec<OpSummary> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
+    let show_repairs = args.iter().any(|a| a == "--repairs");
     let out_path = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -126,12 +134,16 @@ fn main() {
         tr.entries.len()
     );
     println!();
-    println!(
+    print!(
         "{:<10} {:>6} {:>12} {:>10} {:>8} {:>14}",
         "op", "count", "total ms", "mean us", "% wall", "noise (bits)"
     );
+    if show_repairs {
+        print!(" {:>8}", "repairs");
+    }
+    println!();
     for s in summarize(&tr) {
-        println!(
+        print!(
             "{:<10} {:>6} {:>12.3} {:>10.1} {:>7.1}% {:>14.1}",
             s.kind.name(),
             s.count,
@@ -139,6 +151,32 @@ fn main() {
             s.total_ns as f64 / 1e3 / s.count as f64,
             s.total_ns as f64 / wall_ns as f64 * 100.0,
             s.noise_consumed,
+        );
+        if show_repairs {
+            print!(" {:>8}", s.repairs);
+        }
+        println!();
+    }
+    if show_repairs {
+        // Repairs also flow through the event stream interleaved with
+        // runtime degradation/breaker activity; drain and summarize it.
+        let evs = events::drain();
+        let mut repairs = 0u64;
+        let mut degrades = 0u64;
+        let mut breaker_moves = 0u64;
+        for ev in &evs {
+            match ev {
+                events::Event::Repair { .. } => repairs += 1,
+                events::Event::Degrade { .. } => degrades += 1,
+                events::Event::Breaker { .. } => breaker_moves += 1,
+                events::Event::Op(_) => {}
+            }
+        }
+        println!();
+        println!(
+            "repairs: {repairs} repair event(s), {degrades} degradation(s), \
+             {breaker_moves} breaker transition(s), {} event(s) dropped",
+            events::dropped()
         );
     }
     println!();

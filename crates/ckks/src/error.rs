@@ -7,7 +7,7 @@
 //! what call fixes it. [`IntegrityError`] covers structural validation of a
 //! ciphertext against its context ([`crate::Ciphertext::validate`]).
 
-use bp_rns::{Domain, RnsError};
+use bp_rns::{CancelReason, Domain, RnsError};
 
 /// Errors from homomorphic evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +84,10 @@ pub enum EvalError {
     Unsupported(String),
     /// An underlying RNS kernel rejected its operands.
     Rns(RnsError),
+    /// The evaluator's cooperative [`bp_rns::CancelToken`] fired between
+    /// operations (job cancelled or past its deadline); the partial
+    /// computation was abandoned cleanly.
+    Cancelled(CancelReason),
 }
 
 impl std::fmt::Display for EvalError {
@@ -156,6 +160,11 @@ impl std::fmt::Display for EvalError {
             EvalError::Integrity(e) => write!(f, "ciphertext integrity check failed: {e}"),
             EvalError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             EvalError::Rns(e) => write!(f, "RNS kernel error: {e}"),
+            EvalError::Cancelled(reason) => write!(
+                f,
+                "evaluation cancelled between operations: {reason} — the job was \
+                 abandoned cleanly, no partial state escapes"
+            ),
         }
     }
 }
@@ -166,6 +175,26 @@ impl std::error::Error for EvalError {
             EvalError::Rns(e) => Some(e),
             EvalError::Integrity(e) => Some(e),
             _ => None,
+        }
+    }
+}
+
+impl EvalError {
+    /// Whether retrying the operation with the same (pristine) inputs can
+    /// plausibly succeed.
+    ///
+    /// Transient failures are data corruption detected in flight
+    /// ([`EvalError::Integrity`], [`bp_rns::RnsError::UnreducedCoefficient`])
+    /// and noise-budget exhaustion ([`EvalError::BudgetExhausted`]) —
+    /// re-fetching or re-deriving the operand clears them. Everything else
+    /// (misaligned operands, missing keys, exhausted chains, cancellation)
+    /// is a property of the program or the request and recurs on retry.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            EvalError::Integrity(e) => e.is_transient(),
+            EvalError::BudgetExhausted { .. } => true,
+            EvalError::Rns(e) => e.is_transient(),
+            _ => false,
         }
     }
 }
@@ -278,5 +307,17 @@ impl std::error::Error for IntegrityError {
 impl From<RnsError> for IntegrityError {
     fn from(e: RnsError) -> Self {
         IntegrityError::Corrupted(e)
+    }
+}
+
+impl IntegrityError {
+    /// Whether the failure is corruption of this particular ciphertext
+    /// instance (retry with a re-fetched copy can succeed) rather than a
+    /// structural incompatibility that recurs on every copy.
+    ///
+    /// Every integrity variant describes damaged or forged bytes of one
+    /// ciphertext, so the whole class is transient for retry purposes.
+    pub fn is_transient(&self) -> bool {
+        true
     }
 }

@@ -21,7 +21,7 @@ use crate::keys::{galois_element, EvaluationKey, KeySwitchKey};
 use crate::levels;
 use crate::params::Representation;
 use bp_rns::rescale::scale_down_with_converter;
-use bp_rns::{Domain, ResiduePoly, RnsPoly};
+use bp_rns::{CancelToken, Domain, ResiduePoly, RnsPoly};
 use bp_telemetry::events::{self, Event, RepairKind};
 use bp_telemetry::trace::{self, OpKind, OpRecord};
 use bp_telemetry::Stopwatch;
@@ -97,6 +97,7 @@ pub struct Evaluator<'a> {
     ctx: &'a CkksContext,
     policy: EvalPolicy,
     repairs: RepairLog,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -105,6 +106,7 @@ impl<'a> Evaluator<'a> {
             ctx,
             policy,
             repairs: RepairLog::default(),
+            cancel: None,
         }
     }
 
@@ -115,6 +117,36 @@ impl<'a> Evaluator<'a> {
     /// The alignment policy this evaluator runs under.
     pub fn policy(&self) -> EvalPolicy {
         self.policy
+    }
+
+    /// Attaches a cooperative cancellation token: every subsequent public
+    /// op first polls the token and returns [`EvalError::Cancelled`] once
+    /// it fires (deadline passed or cancellation requested), so a
+    /// supervisor can bound long evaluator programs without preempting a
+    /// kernel mid-flight.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Replaces (or clears) the cancellation token on an existing
+    /// evaluator.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Cooperative cancellation checkpoint, polled at the start of every
+    /// public op.
+    fn check_cancel(&self) -> Result<(), EvalError> {
+        match &self.cancel {
+            Some(token) => token.check().map_err(EvalError::Cancelled),
+            None => Ok(()),
+        }
     }
 
     /// The repairs inserted so far (nonzero only under
@@ -348,6 +380,7 @@ impl<'a> Evaluator<'a> {
     /// Strict when the operands are misaligned (use [`Evaluator::adjust_to`]
     /// or [`EvalPolicy::AutoAlign`]).
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.check_cancel()?;
         let sw = Stopwatch::start();
         let (a, b) = self.align(OpKind::Add, a, b)?;
         let ct = Ciphertext::new(
@@ -366,6 +399,7 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     /// Same alignment errors as [`Evaluator::add`].
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.check_cancel()?;
         let sw = Stopwatch::start();
         let (a, b) = self.align(OpKind::Sub, a, b)?;
         let ct = Ciphertext::new(
@@ -386,6 +420,7 @@ impl<'a> Evaluator<'a> {
     /// [`EvalError::PlaintextScaleMismatch`] when the plaintext was not
     /// encoded for the ciphertext's level and scale.
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        self.check_cancel()?;
         let sw = Stopwatch::start();
         let a = self.align_to_plain(OpKind::AddPlain, a, pt)?;
         if a.scale != pt.scale {
@@ -414,6 +449,7 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     /// [`EvalError::PlaintextLevelMismatch`] when the levels differ.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        self.check_cancel()?;
         let sw = Stopwatch::start();
         let a = self.align_to_plain(OpKind::MulPlain, a, pt)?;
         let mut p = pt.poly.clone();
@@ -441,6 +477,7 @@ impl<'a> Evaluator<'a> {
         b: &Ciphertext,
         ek: &EvaluationKey,
     ) -> Result<Ciphertext, EvalError> {
+        self.check_cancel()?;
         let sw = Stopwatch::start();
         let (a, b) = self.align_levels(OpKind::Mul, a, b)?;
         let d0 = a.c0.mul(&b.c0)?;
@@ -466,6 +503,7 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     /// Propagates keyswitching failures.
     pub fn square(&self, a: &Ciphertext, ek: &EvaluationKey) -> Result<Ciphertext, EvalError> {
+        self.check_cancel()?;
         let sw = Stopwatch::start();
         let d0 = a.c0.mul(&a.c0)?;
         let mut d1 = a.c0.mul(&a.c1)?;
@@ -496,6 +534,7 @@ impl<'a> Evaluator<'a> {
         steps: i64,
         ek: &EvaluationKey,
     ) -> Result<Ciphertext, EvalError> {
+        self.check_cancel()?;
         let sw = Stopwatch::start();
         let n = self.ctx.params().n();
         let order = (n / 2) as i64;
@@ -533,6 +572,7 @@ impl<'a> Evaluator<'a> {
     /// Never fails today; returns `Result` for uniformity with the rest of
     /// the evaluation API.
     pub fn negate(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.check_cancel()?;
         let sw = Stopwatch::start();
         let ct = Ciphertext::new(a.c0.neg(), a.c1.neg(), a.level, a.scale.clone(), a.noise);
         self.observe(OpKind::Negate, sw, &ct);
@@ -544,6 +584,7 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     /// Same alignment errors as [`Evaluator::add_plain`].
     pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
+        self.check_cancel()?;
         let sw = Stopwatch::start();
         let a = self.align_to_plain(OpKind::SubPlain, a, pt)?;
         if a.scale != pt.scale {
@@ -572,6 +613,7 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     /// [`EvalError::MissingConjugationKey`] if `ek` has no conjugation key.
     pub fn conjugate(&self, a: &Ciphertext, ek: &EvaluationKey) -> Result<Ciphertext, EvalError> {
+        self.check_cancel()?;
         let sw = Stopwatch::start();
         let n = self.ctx.params().n();
         let t = 2 * n - 1;
@@ -606,6 +648,18 @@ impl<'a> Evaluator<'a> {
     /// # Errors
     /// [`EvalError::LevelExhausted`] at level 0.
     pub fn rescale(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
+        self.check_cancel()?;
+        // Fault-injection hook: an armed rescale fault surfaces as a
+        // transient corruption of the operand's residue data.
+        #[cfg(feature = "fault-injection")]
+        if crate::fault::fire(crate::fault::FaultSite::Rescale) {
+            let modulus = a.moduli().first().copied().unwrap_or(0);
+            return Err(EvalError::Rns(bp_rns::RnsError::UnreducedCoefficient {
+                modulus,
+                index: 0,
+                value: modulus,
+            }));
+        }
         let sw = Stopwatch::start();
         let from = a.level();
         let mut ct = a.clone();
@@ -626,6 +680,7 @@ impl<'a> Evaluator<'a> {
     /// [`EvalError::AdjustUpward`] if `target_level` exceeds the operand's
     /// level.
     pub fn adjust_to(&self, a: &Ciphertext, target_level: usize) -> Result<Ciphertext, EvalError> {
+        self.check_cancel()?;
         let mut ct = a.clone();
         if !bp_telemetry::enabled() || target_level > ct.level() {
             levels::adjust_to(&mut ct, self.chain(), self.ctx.pool(), target_level)?;
@@ -656,6 +711,20 @@ impl<'a> Evaluator<'a> {
         d: &RnsPoly,
         ksk: &KeySwitchKey,
     ) -> Result<(RnsPoly, RnsPoly), EvalError> {
+        // Fault-injection hook: an armed keyswitch fault is reported as
+        // detected corruption of the switched polynomial — the transient
+        // error class a real FU/memory fault would surface as.
+        #[cfg(feature = "fault-injection")]
+        if crate::fault::fire(crate::fault::FaultSite::KeySwitch) {
+            let modulus = d.moduli().first().copied().unwrap_or(0);
+            return Err(EvalError::Integrity(
+                crate::error::IntegrityError::Corrupted(bp_rns::RnsError::UnreducedCoefficient {
+                    modulus,
+                    index: 0,
+                    value: modulus,
+                }),
+            ));
+        }
         bp_telemetry::counters::add(bp_telemetry::counters::Counter::KeySwitches, 1);
         let _span = bp_telemetry::spans::span(bp_telemetry::spans::SpanKind::KeySwitch);
         let pool = self.ctx.pool();

@@ -1,0 +1,96 @@
+//! Test-only fault injection for the CKKS evaluation layer.
+//!
+//! Enabled by the `fault-injection` feature (which also forwards to
+//! `bp-rns/fault-injection`). Where the RNS-layer helpers corrupt data
+//! structures directly, this module injects faults at the evaluator's two
+//! most failure-prone kernels — keyswitching and rescaling — the way a
+//! flaky accelerator FU or a memory fault mid-keyswitch would: the armed
+//! operation reports detected corruption as a typed, *transient*
+//! [`crate::EvalError`] (see [`crate::EvalError::is_transient`]) so the
+//! chaos suite can drive the retry/circuit-breaker machinery of
+//! `bp-runtime` end to end.
+//!
+//! Faults are armed on a process-global schedule keyed by [`FaultSite`]:
+//! `arm(site, skip)` makes the `skip+1`-th hit of that site fail, once.
+//! Multiple armed entries queue independently. Nothing in this module is
+//! part of the production API surface, and tests that arm faults must
+//! run single-threaded against the schedule they arm (the global plan is
+//! shared process state — use [`disarm_all`] between cases).
+
+use std::sync::Mutex;
+
+/// Evaluator kernels that can be armed to fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The hybrid keyswitch inner product (`Evaluator::apply_ksk`) —
+    /// shared by multiply, rotate, and conjugate.
+    KeySwitch,
+    /// The rescale kernel (`Evaluator::rescale` and auto-align repair
+    /// rescales).
+    Rescale,
+}
+
+#[derive(Debug)]
+struct Armed {
+    site: FaultSite,
+    /// Hits of `site` still to let through before firing.
+    skip: u64,
+}
+
+static PLAN: Mutex<Vec<Armed>> = Mutex::new(Vec::new());
+
+/// Arms one fault: the `skip+1`-th subsequent hit of `site` fails with a
+/// transient corruption error, then the entry is spent.
+pub fn arm(site: FaultSite, skip: u64) {
+    let mut plan = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    plan.push(Armed { site, skip });
+}
+
+/// Clears every armed fault.
+pub fn disarm_all() {
+    let mut plan = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    plan.clear();
+}
+
+/// Number of faults still armed (queued or counting down).
+pub fn armed_count() -> usize {
+    let plan = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    plan.len()
+}
+
+/// Called by the evaluator at each injection point: `true` when an armed
+/// fault fires for this hit (the caller must then fail with a typed
+/// error).
+pub(crate) fn fire(site: FaultSite) -> bool {
+    let mut plan = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    for (i, armed) in plan.iter_mut().enumerate() {
+        if armed.site != site {
+            continue;
+        }
+        if armed.skip > 0 {
+            armed.skip -= 1;
+            return false;
+        }
+        plan.remove(i);
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_fault_fires_once_after_skips() {
+        disarm_all();
+        arm(FaultSite::KeySwitch, 2);
+        assert_eq!(armed_count(), 1);
+        assert!(!fire(FaultSite::KeySwitch));
+        assert!(!fire(FaultSite::KeySwitch));
+        assert!(!fire(FaultSite::Rescale), "other sites are unaffected");
+        assert!(fire(FaultSite::KeySwitch));
+        assert!(!fire(FaultSite::KeySwitch), "one-shot: spent after firing");
+        assert_eq!(armed_count(), 0);
+    }
+}

@@ -57,6 +57,8 @@ mod context;
 pub mod encoding;
 mod error;
 mod eval;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 mod keys;
 pub mod levels;
 pub mod noise;
@@ -66,7 +68,7 @@ mod sampling;
 mod security;
 pub mod wire;
 
-pub use bp_rns::BpThreadPool;
+pub use bp_rns::{BpThreadPool, CancelReason, CancelToken};
 // Re-exported so downstream crates (bench binaries, tests) drive the
 // instrumentation layer without naming bp-telemetry as a dependency.
 pub use bp_telemetry as telemetry;

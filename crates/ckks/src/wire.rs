@@ -65,6 +65,20 @@ impl From<IntegrityError> for WireError {
     }
 }
 
+impl WireError {
+    /// Whether re-fetching the ciphertext bytes and retrying can
+    /// plausibly succeed.
+    ///
+    /// [`WireError::Integrity`] means this copy arrived damaged — a
+    /// fresh transfer can clear it. [`WireError::Malformed`] and
+    /// [`WireError::Incompatible`] are permanent: the sender is speaking
+    /// a different format or targeting a different context, and every
+    /// retry reproduces the same bytes.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, WireError::Integrity(_))
+    }
+}
+
 /// Serializes a ciphertext to bytes.
 pub fn write_ciphertext(ct: &Ciphertext) -> Vec<u8> {
     let _span = bp_telemetry::spans::span(bp_telemetry::spans::SpanKind::Serialize);

@@ -33,12 +33,114 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// The panic-free pipeline contract: library code may not unwrap. Known
+// invariants use expect() with a message naming the invariant; everything
+// else returns a typed error. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bp_telemetry::counters::{self, Counter};
+
+/// Why a [`CancelToken`] reported cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called (shutdown, client disconnect,
+    /// a supervisor killing the job).
+    Requested,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelReason::Requested => write!(f, "cancellation requested"),
+            CancelReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// A cooperative cancellation handle shared between a job supervisor and
+/// the code doing the work.
+///
+/// Long evaluator programs (bootstrapping-depth pipelines, encrypted
+/// training loops) cannot be preempted mid-kernel without corrupting
+/// state, so cancellation is cooperative: the supervisor arms the token
+/// (explicitly via [`CancelToken::cancel`] or implicitly via a deadline)
+/// and the evaluator polls [`CancelToken::check`] between operations —
+/// the granularity at which abandoning work is always safe.
+///
+/// Tokens are cheap to clone (an `Arc` around two atomics) and safe to
+/// poll from any thread.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally cancels once `budget` has elapsed from
+    /// now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Why the token is cancelled, or `None` if work may continue. An
+    /// explicit [`CancelToken::cancel`] wins over an elapsed deadline.
+    pub fn cancelled(&self) -> Option<CancelReason> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Some(CancelReason::Requested);
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelReason::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// Cooperative checkpoint: `Err(reason)` once the token is cancelled
+    /// or past its deadline.
+    pub fn check(&self) -> Result<(), CancelReason> {
+        match self.cancelled() {
+            Some(r) => Err(r),
+            None => Ok(()),
+        }
+    }
+
+    /// Time left until the deadline; `None` when the token has no
+    /// deadline. A cancelled or expired token reports zero.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner.deadline.map(|d| {
+            if self.inner.cancelled.load(Ordering::Relaxed) {
+                Duration::ZERO
+            } else {
+                d.saturating_duration_since(Instant::now())
+            }
+        })
+    }
+}
 
 /// Upper bound applied to *automatically derived* worker counts
 /// (environment variable or detected parallelism). Explicit
@@ -331,6 +433,31 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn cancel_token_reports_requested_cancellation() {
+        let t = CancelToken::new();
+        assert_eq!(t.cancelled(), None);
+        assert!(t.check().is_ok());
+        let clone = t.clone();
+        clone.cancel();
+        assert_eq!(t.cancelled(), Some(CancelReason::Requested));
+        assert_eq!(t.check(), Err(CancelReason::Requested));
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_token_deadline_expires() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(t.cancelled(), Some(CancelReason::DeadlineExceeded));
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert_eq!(t.cancelled(), None);
+        assert!(t.remaining().expect("has deadline") > Duration::from_secs(3000));
+        // Explicit cancellation wins over the live deadline.
+        t.cancel();
+        assert_eq!(t.cancelled(), Some(CancelReason::Requested));
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
     }
 
     #[test]

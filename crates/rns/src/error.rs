@@ -157,3 +157,17 @@ impl std::fmt::Display for RnsError {
 }
 
 impl std::error::Error for RnsError {}
+
+impl RnsError {
+    /// Whether retrying with a re-fetched (pristine) operand can
+    /// plausibly succeed.
+    ///
+    /// Only [`RnsError::UnreducedCoefficient`] is transient — it means
+    /// *this copy* of the data was corrupted (memory fault, truncated
+    /// transfer, hostile peer). Every other variant is a structural
+    /// property of the operands (wrong basis, wrong domain, wrong shape)
+    /// that recurs identically on retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RnsError::UnreducedCoefficient { .. })
+    }
+}

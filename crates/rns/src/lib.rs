@@ -59,7 +59,7 @@ pub mod rescale;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 
-pub use bp_par::BpThreadPool;
+pub use bp_par::{BpThreadPool, CancelReason, CancelToken};
 pub use error::RnsError;
 pub use ntt::NttTable;
 pub use poly::{Domain, ResiduePoly, RnsPoly};

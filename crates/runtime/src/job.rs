@@ -1,0 +1,607 @@
+//! The job supervisor: deadlines, panic isolation, retry, degradation.
+//!
+//! [`Runtime::run`] executes a job body under full supervision:
+//!
+//! * a per-job **deadline** becomes a [`CancelToken`] the job threads into
+//!   its evaluator ([`bp_ckks::Evaluator::with_cancel`]), so a runaway
+//!   circuit stops cooperatively at the next op boundary;
+//! * **panics are contained** at the job boundary (`catch_unwind`) and
+//!   surface as [`RuntimeError::JobPanicked`] carrying the workload key
+//!   and panic text — a buggy workload never takes down the host;
+//! * **transient** failures ([`RuntimeError::is_transient`]) are retried
+//!   with exponential backoff and deterministic jitter, bounded by the
+//!   retry budget and the remaining deadline;
+//! * each retry can **degrade gracefully** before giving up: escalate the
+//!   evaluation policy from `Strict` to `AutoAlign`, then shed chain
+//!   levels (trading precision headroom for noise margin), as permitted
+//!   by the job's [`DegradePolicy`];
+//! * a per-workload **circuit breaker** fail-fasts workloads that keep
+//!   failing (see [`crate::breaker`]).
+
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::error::RuntimeError;
+use bp_ckks::{BpThreadPool, CancelReason, CancelToken, EvalPolicy};
+use bp_telemetry::counters::{self, Counter};
+use bp_telemetry::events::{self, BreakerPhase, DegradeKind, Event};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Retry tuning for transient failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_delay: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_delay: Duration,
+    /// Scale each sleep by a deterministic pseudo-random factor in
+    /// [0.5, 1.0) so co-failing jobs do not retry in lockstep.
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            jitter: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure is terminal.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// What the runtime may degrade on retries before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradePolicy {
+    /// Permit escalating [`EvalPolicy::Strict`] to
+    /// [`EvalPolicy::AutoAlign`] from the first retry on.
+    pub auto_align: bool,
+    /// Maximum chain levels the job may be asked to shed (0 = never).
+    pub max_shed_levels: usize,
+}
+
+/// The degradation state of one attempt, derived deterministically from
+/// the attempt index: attempt 0 runs pristine, the first degradation
+/// budget goes to policy escalation (if permitted), further retries shed
+/// one level each up to the cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Degradation {
+    policy: EvalPolicy,
+    shed_levels: usize,
+}
+
+impl Degradation {
+    fn for_attempt(attempt: u32, p: &DegradePolicy) -> Self {
+        let mut budget = attempt as usize;
+        let mut policy = EvalPolicy::Strict;
+        if p.auto_align && budget > 0 {
+            policy = EvalPolicy::AutoAlign;
+            budget -= 1;
+        }
+        Self {
+            policy,
+            shed_levels: budget.min(p.max_shed_levels),
+        }
+    }
+}
+
+/// A supervised job description.
+#[derive(Debug, Clone, Default)]
+pub struct JobSpec {
+    workload: String,
+    deadline: Option<Duration>,
+    token: Option<CancelToken>,
+    retry: RetryPolicy,
+    degrade: DegradePolicy,
+}
+
+impl JobSpec {
+    /// A job for `workload` with default retry and no deadline.
+    pub fn new(workload: &str) -> Self {
+        Self {
+            workload: workload.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Total wall-clock budget across all attempts (enforced
+    /// cooperatively through the job's [`CancelToken`]).
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Supplies an external cancel token (e.g. wired to a shutdown
+    /// signal). Takes precedence over [`JobSpec::deadline`].
+    pub fn token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// Retry tuning.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Degradation permissions.
+    pub fn degrade(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Workload key (breaker partition and telemetry tag).
+    pub fn workload_key(&self) -> &str {
+        &self.workload
+    }
+}
+
+/// Per-attempt context handed to the job body.
+#[derive(Debug, Clone)]
+pub struct JobCtx {
+    token: CancelToken,
+    attempt: u32,
+    degradation: Degradation,
+    threads: Arc<BpThreadPool>,
+}
+
+impl JobCtx {
+    /// The attempt's cancel token — thread it into every evaluator the
+    /// job creates ([`bp_ckks::Evaluator::with_cancel`]) so deadlines
+    /// interrupt long circuits cooperatively.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Zero-based attempt index (0 = first try).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Evaluation policy this attempt should run under (escalates to
+    /// [`EvalPolicy::AutoAlign`] on retries when the spec permits).
+    pub fn eval_policy(&self) -> EvalPolicy {
+        self.degradation.policy
+    }
+
+    /// Chain levels this attempt should shed relative to the pristine
+    /// run (0 on the first attempt; grows on retries up to the spec's
+    /// cap). The job interprets this — typically by encoding inputs at
+    /// `max_level - shed_levels()`.
+    pub fn shed_levels(&self) -> usize {
+        self.degradation.shed_levels
+    }
+
+    /// The runtime's thread pool, for evaluation contexts
+    /// ([`bp_ckks::CkksContext::with_threads`]).
+    pub fn threads(&self) -> &Arc<BpThreadPool> {
+        &self.threads
+    }
+
+    /// Explicit cancellation check for job-side loops between evaluator
+    /// calls.
+    pub fn check(&self) -> Result<(), RuntimeError> {
+        self.token.check().map_err(terminal_for)
+    }
+}
+
+fn terminal_for(reason: CancelReason) -> RuntimeError {
+    match reason {
+        CancelReason::DeadlineExceeded => RuntimeError::DeadlineExceeded,
+        CancelReason::Requested => RuntimeError::Cancelled,
+    }
+}
+
+/// The fault-tolerant job runtime.
+///
+/// Cheap to share behind an `Arc`; all interior state (the breaker map)
+/// is synchronized.
+#[derive(Debug)]
+pub struct Runtime {
+    threads: Arc<BpThreadPool>,
+    breaker_cfg: BreakerConfig,
+    breakers: Mutex<HashMap<String, Arc<CircuitBreaker>>>,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runtime {
+    /// A runtime on the process-global thread pool
+    /// (`BITPACKER_THREADS`-sized).
+    pub fn new() -> Self {
+        Self::with_threads(BpThreadPool::global())
+    }
+
+    /// A runtime on an explicit pool.
+    pub fn with_threads(threads: Arc<BpThreadPool>) -> Self {
+        Self {
+            threads,
+            breaker_cfg: BreakerConfig::default(),
+            breakers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the breaker tuning for breakers created after this call.
+    pub fn breaker_config(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker_cfg = cfg;
+        self
+    }
+
+    /// The runtime's thread pool.
+    pub fn threads(&self) -> &Arc<BpThreadPool> {
+        &self.threads
+    }
+
+    /// Current breaker phase for `workload` (Closed if the workload has
+    /// never run).
+    pub fn breaker_phase(&self, workload: &str) -> BreakerPhase {
+        let breakers = self.breakers.lock().unwrap_or_else(|e| e.into_inner());
+        breakers
+            .get(workload)
+            .map(|b| b.phase())
+            .unwrap_or(BreakerPhase::Closed)
+    }
+
+    fn breaker(&self, workload: &str) -> Arc<CircuitBreaker> {
+        let mut breakers = self.breakers.lock().unwrap_or_else(|e| e.into_inner());
+        breakers
+            .entry(workload.to_string())
+            .or_insert_with(|| Arc::new(CircuitBreaker::new(workload, self.breaker_cfg)))
+            .clone()
+    }
+
+    /// Runs `job` under supervision until it reaches a terminal state:
+    /// success, a permanent error, retry exhaustion, deadline,
+    /// cancellation, contained panic, or breaker rejection. The job body
+    /// may be invoked several times (once per attempt) and must be
+    /// idempotent from the runtime's point of view — attempts must not
+    /// leak partial state into each other.
+    pub fn run<T, F>(&self, spec: &JobSpec, job: F) -> Result<T, RuntimeError>
+    where
+        F: Fn(&JobCtx) -> Result<T, RuntimeError>,
+    {
+        let breaker = self.breaker(&spec.workload);
+        let token = match (&spec.token, spec.deadline) {
+            (Some(t), _) => t.clone(),
+            (None, Some(budget)) => CancelToken::with_deadline(budget),
+            (None, None) => CancelToken::new(),
+        };
+        counters::add(Counter::RtJobs, 1);
+        let max_attempts = spec.retry.max_attempts.max(1);
+        let mut attempt: u32 = 0;
+        loop {
+            if !breaker.admit() {
+                return Err(RuntimeError::CircuitOpen {
+                    workload: spec.workload.clone(),
+                });
+            }
+            if let Err(reason) = token.check() {
+                let err = terminal_for(reason);
+                if err == RuntimeError::DeadlineExceeded {
+                    counters::add(Counter::RtDeadlines, 1);
+                }
+                return Err(err);
+            }
+            if attempt > 0 {
+                self.export_degradation(spec, attempt);
+            }
+            let ctx = JobCtx {
+                token: token.clone(),
+                attempt,
+                degradation: Degradation::for_attempt(attempt, &spec.degrade),
+                threads: self.threads.clone(),
+            };
+            match catch_unwind(AssertUnwindSafe(|| job(&ctx))) {
+                Err(payload) => {
+                    counters::add(Counter::RtPanics, 1);
+                    breaker.on_failure();
+                    return Err(RuntimeError::JobPanicked {
+                        workload: spec.workload.clone(),
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+                Ok(Ok(value)) => {
+                    breaker.on_success();
+                    return Ok(value);
+                }
+                Ok(Err(RuntimeError::DeadlineExceeded)) => {
+                    counters::add(Counter::RtDeadlines, 1);
+                    return Err(RuntimeError::DeadlineExceeded);
+                }
+                Ok(Err(RuntimeError::Cancelled)) => return Err(RuntimeError::Cancelled),
+                Ok(Err(err)) => {
+                    breaker.on_failure();
+                    if err.is_transient() && attempt + 1 < max_attempts {
+                        counters::add(Counter::RtRetries, 1);
+                        let mut delay = backoff_delay(&spec.retry, attempt, &spec.workload);
+                        if let Some(remaining) = token.remaining() {
+                            delay = delay.min(remaining);
+                        }
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        attempt += 1;
+                        continue;
+                    }
+                    if err.is_transient() && max_attempts > 1 {
+                        return Err(RuntimeError::RetriesExhausted {
+                            workload: spec.workload.clone(),
+                            attempts: attempt + 1,
+                            last: Box::new(err),
+                        });
+                    }
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    /// Exports the degradation steps that became active at `attempt`
+    /// (events + the `rt_degradations` counter).
+    fn export_degradation(&self, spec: &JobSpec, attempt: u32) {
+        let prev = Degradation::for_attempt(attempt - 1, &spec.degrade);
+        let cur = Degradation::for_attempt(attempt, &spec.degrade);
+        if prev.policy != cur.policy && cur.policy == EvalPolicy::AutoAlign {
+            counters::add(Counter::RtDegradations, 1);
+            events::emit(Event::Degrade {
+                workload: spec.workload.clone(),
+                attempt,
+                kind: DegradeKind::AutoAlign,
+            });
+        }
+        if cur.shed_levels > prev.shed_levels {
+            counters::add(Counter::RtDegradations, 1);
+            events::emit(Event::Degrade {
+                workload: spec.workload.clone(),
+                attempt,
+                kind: DegradeKind::ShedLevels,
+            });
+        }
+    }
+}
+
+/// Renders a contained panic payload to text (best effort: `&str` and
+/// `String` payloads — the overwhelmingly common cases — are preserved).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Exponential backoff with deterministic jitter: `base * 2^attempt`,
+/// capped at `max_delay`, optionally scaled by a factor in [0.5, 1.0)
+/// derived from (workload, attempt) via FNV-1a + xorshift — reproducible
+/// across runs, decorrelated across workloads.
+fn backoff_delay(policy: &RetryPolicy, attempt: u32, workload: &str) -> Duration {
+    let exp = policy
+        .base_delay
+        .saturating_mul(2u32.saturating_pow(attempt));
+    let capped = exp.min(policy.max_delay);
+    if !policy.jitter {
+        return capped;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in workload.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= u64::from(attempt).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h ^= h << 13;
+    h ^= h >> 7;
+    h ^= h << 17;
+    // Map to [0.5, 1.0): keep at least half the nominal delay so backoff
+    // still backs off.
+    let frac = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+    capped.mul_f64(frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn degradation_schedule_is_deterministic() {
+        let p = DegradePolicy {
+            auto_align: true,
+            max_shed_levels: 2,
+        };
+        let d0 = Degradation::for_attempt(0, &p);
+        assert_eq!((d0.policy, d0.shed_levels), (EvalPolicy::Strict, 0));
+        let d1 = Degradation::for_attempt(1, &p);
+        assert_eq!((d1.policy, d1.shed_levels), (EvalPolicy::AutoAlign, 0));
+        let d2 = Degradation::for_attempt(2, &p);
+        assert_eq!((d2.policy, d2.shed_levels), (EvalPolicy::AutoAlign, 1));
+        let d9 = Degradation::for_attempt(9, &p);
+        assert_eq!(d9.shed_levels, 2, "shed is capped");
+        // Without auto-align permission the budget goes straight to shed.
+        let only_shed = DegradePolicy {
+            auto_align: false,
+            max_shed_levels: 3,
+        };
+        let d1 = Degradation::for_attempt(1, &only_shed);
+        assert_eq!((d1.policy, d1.shed_levels), (EvalPolicy::Strict, 1));
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_keeps_half_delay_under_jitter() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(8),
+            max_delay: Duration::from_millis(100),
+            jitter: false,
+        };
+        assert_eq!(backoff_delay(&p, 0, "w"), Duration::from_millis(8));
+        assert_eq!(backoff_delay(&p, 1, "w"), Duration::from_millis(16));
+        assert_eq!(backoff_delay(&p, 6, "w"), Duration::from_millis(100));
+        let jittered = RetryPolicy { jitter: true, ..p };
+        for attempt in 0..6 {
+            let nominal = backoff_delay(&p, attempt, "w");
+            let j = backoff_delay(&jittered, attempt, "w");
+            assert!(j >= nominal / 2 && j <= nominal, "jitter in [0.5, 1.0]");
+            assert_eq!(
+                j,
+                backoff_delay(&jittered, attempt, "w"),
+                "jitter is deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn panic_is_contained_and_typed() {
+        let rt = Runtime::with_threads(Arc::new(BpThreadPool::sequential()));
+        let spec = JobSpec::new("panicky");
+        let result: Result<(), _> = rt.run(&spec, |_| panic!("boom {}", 42));
+        match result {
+            Err(RuntimeError::JobPanicked { workload, message }) => {
+                assert_eq!(workload, "panicky");
+                assert!(message.contains("boom 42"), "payload text kept: {message}");
+            }
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_errors_retry_then_succeed() {
+        let rt = Runtime::with_threads(Arc::new(BpThreadPool::sequential()));
+        let spec = JobSpec::new("flaky").retry(RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            jitter: true,
+        });
+        let calls = AtomicU32::new(0);
+        let out = rt.run(&spec, |ctx| {
+            let n = calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(ctx.attempt(), n);
+            if n < 2 {
+                Err(RuntimeError::Checkpoint(
+                    crate::checkpoint::CheckpointError::ChecksumMismatch {
+                        stored: 0,
+                        computed: 1,
+                    },
+                ))
+            } else {
+                Ok("recovered")
+            }
+        });
+        assert_eq!(out, Ok("recovered"));
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn permanent_errors_do_not_retry() {
+        let rt = Runtime::with_threads(Arc::new(BpThreadPool::sequential()));
+        let spec = JobSpec::new("broken").retry(RetryPolicy::default());
+        let calls = AtomicU32::new(0);
+        let out: Result<(), _> = rt.run(&spec, |_| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(RuntimeError::Checkpoint(
+                crate::checkpoint::CheckpointError::Malformed("structural"),
+            ))
+        });
+        assert!(matches!(out, Err(RuntimeError::Checkpoint(_))));
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "no retry on permanent");
+    }
+
+    #[test]
+    fn retries_exhausted_wraps_the_last_transient_error() {
+        let rt = Runtime::with_threads(Arc::new(BpThreadPool::sequential()));
+        let spec = JobSpec::new("hopeless").retry(RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+            jitter: false,
+        });
+        let out: Result<(), _> = rt.run(&spec, |_| {
+            Err(RuntimeError::Checkpoint(
+                crate::checkpoint::CheckpointError::ChecksumMismatch {
+                    stored: 1,
+                    computed: 2,
+                },
+            ))
+        });
+        match out {
+            Err(RuntimeError::RetriesExhausted {
+                workload, attempts, ..
+            }) => {
+                assert_eq!(workload, "hopeless");
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_is_terminal_before_running() {
+        let rt = Runtime::with_threads(Arc::new(BpThreadPool::sequential()));
+        let spec = JobSpec::new("late").deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        let calls = AtomicU32::new(0);
+        let out: Result<(), _> = rt.run(&spec, |_| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        assert_eq!(out, Err(RuntimeError::DeadlineExceeded));
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "job body never ran");
+    }
+
+    #[test]
+    fn explicit_cancellation_is_terminal() {
+        let rt = Runtime::with_threads(Arc::new(BpThreadPool::sequential()));
+        let token = CancelToken::new();
+        token.cancel();
+        let spec = JobSpec::new("shutdown").token(token);
+        let out: Result<(), _> = rt.run(&spec, |_| Ok(()));
+        assert_eq!(out, Err(RuntimeError::Cancelled));
+    }
+
+    #[test]
+    fn breaker_rejects_after_repeated_failures() {
+        let rt = Runtime::with_threads(Arc::new(BpThreadPool::sequential())).breaker_config(
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(60),
+            },
+        );
+        let spec = JobSpec::new("sick").retry(RetryPolicy::none());
+        for _ in 0..2 {
+            let _ = rt.run::<(), _>(&spec, |_| {
+                Err(RuntimeError::Checkpoint(
+                    crate::checkpoint::CheckpointError::Malformed("x"),
+                ))
+            });
+        }
+        assert_eq!(rt.breaker_phase("sick"), BreakerPhase::Open);
+        let calls = AtomicU32::new(0);
+        let out: Result<(), _> = rt.run(&spec, |_| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        assert!(matches!(out, Err(RuntimeError::CircuitOpen { .. })));
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "rejected without running");
+        // Other workloads are unaffected.
+        assert!(rt.run(&JobSpec::new("healthy"), |_| Ok(1)).is_ok());
+    }
+}

@@ -51,10 +51,25 @@ pub enum Counter {
     ParBusyNs,
     /// Per-dispatch max−min chunk time, accumulated. Utilization class.
     ParImbalanceNs,
+    /// Jobs submitted to the fault-tolerant runtime. Utilization class.
+    RtJobs,
+    /// Job attempts retried after a transient failure. Utilization class.
+    RtRetries,
+    /// Panics caught at a job boundary and converted into typed errors.
+    /// Utilization class.
+    RtPanics,
+    /// Jobs terminated by deadline or cancellation. Utilization class.
+    RtDeadlines,
+    /// Circuit-breaker transitions into the open state. Utilization
+    /// class.
+    RtBreakerTrips,
+    /// Graceful-degradation escalations (policy or precision shed)
+    /// applied under failure/deadline pressure. Utilization class.
+    RtDegradations,
 }
 
 /// Number of counters in [`Counter::ALL`].
-pub const NUM_COUNTERS: usize = 14;
+pub const NUM_COUNTERS: usize = 20;
 
 impl Counter {
     /// Every counter, in stable report order.
@@ -73,6 +88,12 @@ impl Counter {
         Counter::ParChunks,
         Counter::ParBusyNs,
         Counter::ParImbalanceNs,
+        Counter::RtJobs,
+        Counter::RtRetries,
+        Counter::RtPanics,
+        Counter::RtDeadlines,
+        Counter::RtBreakerTrips,
+        Counter::RtDegradations,
     ];
 
     /// Stable snake_case name used in reports and JSON.
@@ -92,6 +113,12 @@ impl Counter {
             Counter::ParChunks => "par_chunks",
             Counter::ParBusyNs => "par_busy_ns",
             Counter::ParImbalanceNs => "par_imbalance_ns",
+            Counter::RtJobs => "rt_jobs",
+            Counter::RtRetries => "rt_retries",
+            Counter::RtPanics => "rt_panics",
+            Counter::RtDeadlines => "rt_deadlines",
+            Counter::RtBreakerTrips => "rt_breaker_trips",
+            Counter::RtDegradations => "rt_degradations",
         }
     }
 
@@ -105,6 +132,12 @@ impl Counter {
                 | Counter::ParChunks
                 | Counter::ParBusyNs
                 | Counter::ParImbalanceNs
+                | Counter::RtJobs
+                | Counter::RtRetries
+                | Counter::RtPanics
+                | Counter::RtDeadlines
+                | Counter::RtBreakerTrips
+                | Counter::RtDegradations
         )
     }
 }

@@ -32,6 +32,48 @@ impl RepairKind {
     }
 }
 
+/// Circuit-breaker phase, as exported on the event stream by the
+/// fault-tolerant runtime (`bp-runtime`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerPhase {
+    /// Healthy: every job is admitted.
+    Closed,
+    /// Tripped: jobs are rejected until the cooldown elapses.
+    Open,
+    /// Cooling down: a single probe job is admitted to test recovery.
+    HalfOpen,
+}
+
+impl BreakerPhase {
+    /// Stable snake_case name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerPhase::Closed => "closed",
+            BreakerPhase::Open => "open",
+            BreakerPhase::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Which graceful-degradation step the runtime applied to a job attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeKind {
+    /// Evaluation policy escalated from `Strict` to `AutoAlign`.
+    AutoAlign,
+    /// Optional precision shed: the job was asked to drop chain levels.
+    ShedLevels,
+}
+
+impl DegradeKind {
+    /// Stable snake_case name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeKind::AutoAlign => "auto_align",
+            DegradeKind::ShedLevels => "shed_levels",
+        }
+    }
+}
+
 /// One entry of the telemetry event stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -45,6 +87,25 @@ pub enum Event {
         op: OpKind,
         /// Ciphertext level after the repair step.
         level: usize,
+    },
+    /// A circuit-breaker state transition in the fault-tolerant runtime.
+    Breaker {
+        /// Workload key the breaker guards.
+        workload: String,
+        /// Phase before the transition.
+        from: BreakerPhase,
+        /// Phase after the transition.
+        to: BreakerPhase,
+    },
+    /// A graceful-degradation step applied to a job attempt under
+    /// failure or deadline pressure.
+    Degrade {
+        /// Workload key of the degraded job.
+        workload: String,
+        /// Zero-based attempt index the degradation applies to.
+        attempt: u32,
+        /// What was degraded.
+        kind: DegradeKind,
     },
 }
 

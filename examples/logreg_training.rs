@@ -8,13 +8,65 @@
 //! depth bounds the iteration count (real HELR bootstraps between
 //! batches — see `bp_ckks::levels::reference_bootstrap`).
 //!
-//! Run: `cargo run --release --example logreg_training`
+//! Training runs as a supervised `bp-runtime` job (deadline + contained
+//! panics), and every epoch snapshots the live ciphertexts to a
+//! checkpoint, so a killed run resumes **bit-identically**:
+//!
+//! ```text
+//! cargo run --release --example logreg_training
+//! # Simulate preemption after epoch 1, then resume:
+//! cargo run --release --example logreg_training -- \
+//!     --checkpoint /tmp/logreg.ckpt --halt-after 1
+//! cargo run --release --example logreg_training -- \
+//!     --checkpoint /tmp/logreg.ckpt --resume
+//! ```
 
 use bitpacker::prelude::*;
+use bitpacker::runtime::Checkpoint;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha20Rng;
+use std::time::Duration;
+
+struct Args {
+    /// Total gradient steps the training should reach.
+    steps: u64,
+    /// Where to write (and with --resume, read) the checkpoint.
+    checkpoint: Option<std::path::PathBuf>,
+    /// Resume from the checkpoint instead of starting at step 0.
+    resume: bool,
+    /// Stop after this many steps *in this invocation* (simulated kill).
+    halt_after: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        steps: 2,
+        checkpoint: None,
+        resume: false,
+        halt_after: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--steps" => args.steps = value("--steps")?.parse().map_err(|e| format!("{e}"))?,
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?.into()),
+            "--resume" => args.resume = true,
+            "--halt-after" => {
+                args.halt_after = Some(value("--halt-after")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.resume && args.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint".into());
+    }
+    Ok(args)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| format!("usage error: {e}"))?;
+
     let params = CkksParams::builder()
         .log_n(10)
         .word_bits(28)
@@ -26,7 +78,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = CkksContext::new(&params)?;
     let mut rng = ChaCha20Rng::seed_from_u64(1234);
     let keys = ctx.keygen(&mut rng);
-    let ev = ctx.evaluator();
     let slots = ctx.params().slots();
 
     // Synthetic 1-feature dataset: y = 1 if x > 0.2 (plus noise).
@@ -42,13 +93,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
-    let ct_x = ctx.encrypt(&ctx.encode(&xs, ctx.max_level()), &keys.public, &mut rng);
-    let ct_y = ctx.encrypt(&ctx.encode(&ys, ctx.max_level()), &keys.public, &mut rng);
-
-    // Encrypted training: two gradient steps on w (replicated per slot).
-    // grad_i = (sigma(w*x_i) - y_i) * x_i ; sigma approximated linearly
-    // around 0 (degree-1 term of the HELR polynomial) to fit the depth of
-    // this demo chain.
+    let mut ct_x = ctx.encrypt(&ctx.encode(&xs, ctx.max_level()), &keys.public, &mut rng);
+    let mut ct_y = ctx.encrypt(&ctx.encode(&ys, ctx.max_level()), &keys.public, &mut rng);
     let lr = 1.0;
     let mut ct_w = ctx.encrypt(
         &ctx.encode(&vec![0.0; slots], ctx.max_level()),
@@ -56,40 +102,108 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng,
     );
 
-    for step in 0..2 {
-        // z = w * x  (ciphertext-ciphertext multiply + rescale)
-        let aligned_x = ev.adjust_to(&ct_x, ct_w.level())?;
-        let z = ev.rescale(&ev.mul(&ct_w, &aligned_x, &keys.evaluation)?)?;
-        // sigma(z) - y ≈ 0.5 + 0.15 z - y
-        let grad_lin = {
-            let p = ctx.encode_at_scale(
-                &vec![0.15; slots],
-                z.level(),
-                ctx.chain().scale_at(z.level()).clone(),
-            );
-            let scaled = ev.rescale(&ev.mul_plain(&z, &p)?)?;
-            let y_adj = ev.adjust_to(&ct_y, scaled.level())?;
-            let half =
-                ctx.encode_at_scale(&vec![0.5; slots], scaled.level(), scaled.scale().clone());
-            ev.sub(&ev.add_plain(&scaled, &half)?, &y_adj)?
-        };
-        // grad = (sigma - y) * x ; mean-reduce is skipped (per-slot SGD).
-        let x_adj = ev.adjust_to(&ct_x, grad_lin.level())?;
-        let grad = ev.rescale(&ev.mul(&grad_lin, &x_adj, &keys.evaluation)?)?;
-        // w <- w - lr * grad
-        let lr_pt = ctx.encode_at_scale(
-            &vec![lr; slots],
-            grad.level(),
-            ctx.chain().scale_at(grad.level()).clone(),
-        );
-        let update = ev.rescale(&ev.mul_plain(&grad, &lr_pt)?)?;
-        let w_aligned = ev.adjust_to(&ct_w, update.level())?;
-        ct_w = ev.sub(&w_aligned, &update)?;
+    // Resume: replace the fresh ciphertexts with the snapshot (exact
+    // scales and chain positions come back through the wire format, so
+    // the continuation is bit-identical to an uninterrupted run).
+    let mut start_step = 0u64;
+    if args.resume {
+        let path = args.checkpoint.as_ref().expect("checked in parse_args");
+        let cp = Checkpoint::from_bytes(&std::fs::read(path)?)?;
+        if cp.workload() != "logreg" {
+            return Err(format!("checkpoint belongs to workload '{}'", cp.workload()).into());
+        }
+        ct_w = cp.restore(&ctx, "w")?;
+        ct_x = cp.restore(&ctx, "x")?;
+        ct_y = cp.restore(&ctx, "y")?;
+        start_step = cp.step();
+        println!("resumed '{}' at step {start_step}", cp.workload());
+    }
 
+    // Encrypted training under runtime supervision: a deadline interrupts
+    // runaway circuits cooperatively, and a panicking epoch surfaces as a
+    // typed error instead of tearing the process down.
+    // grad_i = (sigma(w*x_i) - y_i) * x_i ; sigma approximated linearly
+    // around 0 (degree-1 term of the HELR polynomial) to fit the depth of
+    // this demo chain.
+    let rt = Runtime::new();
+    let spec = JobSpec::new("logreg").deadline(Duration::from_secs(120));
+    let (ct_w, completed) = rt.run(&spec, |job| {
+        let ev = ctx.evaluator().with_cancel(job.cancel_token().clone());
+        let mut ct_w = ct_w.clone();
+        let mut step = start_step;
+        while step < args.steps {
+            // z = w * x  (ciphertext-ciphertext multiply + rescale)
+            let aligned_x = ev.adjust_to(&ct_x, ct_w.level())?;
+            let z = ev.rescale(&ev.mul(&ct_w, &aligned_x, &keys.evaluation)?)?;
+            // sigma(z) - y ≈ 0.5 + 0.15 z - y
+            let grad_lin = {
+                let p = ctx.encode_at_scale(
+                    &vec![0.15; slots],
+                    z.level(),
+                    ctx.chain().scale_at(z.level()).clone(),
+                );
+                let scaled = ev.rescale(&ev.mul_plain(&z, &p)?)?;
+                let y_adj = ev.adjust_to(&ct_y, scaled.level())?;
+                let half =
+                    ctx.encode_at_scale(&vec![0.5; slots], scaled.level(), scaled.scale().clone());
+                ev.sub(&ev.add_plain(&scaled, &half)?, &y_adj)?
+            };
+            // grad = (sigma - y) * x ; mean-reduce is skipped (per-slot SGD).
+            let x_adj = ev.adjust_to(&ct_x, grad_lin.level())?;
+            let grad = ev.rescale(&ev.mul(&grad_lin, &x_adj, &keys.evaluation)?)?;
+            // w <- w - lr * grad
+            let lr_pt = ctx.encode_at_scale(
+                &vec![lr; slots],
+                grad.level(),
+                ctx.chain().scale_at(grad.level()).clone(),
+            );
+            let update = ev.rescale(&ev.mul_plain(&grad, &lr_pt)?)?;
+            let w_aligned = ev.adjust_to(&ct_w, update.level())?;
+            ct_w = ev.sub(&w_aligned, &update)?;
+            step += 1;
+
+            println!(
+                "step {}: encrypted weight updated at level {}",
+                step - 1,
+                ct_w.level()
+            );
+
+            // Snapshot the live state so a kill after this epoch resumes
+            // exactly here.
+            if let Some(path) = &args.checkpoint {
+                let mut cp = Checkpoint::new("logreg", step);
+                cp.insert("w", &ct_w);
+                cp.insert("x", &ct_x);
+                cp.insert("y", &ct_y);
+                std::fs::write(path, cp.to_bytes()).map_err(|e| {
+                    RuntimeError::Checkpoint(bitpacker::runtime::CheckpointError::Malformed(
+                        if e.kind() == std::io::ErrorKind::NotFound {
+                            "checkpoint directory does not exist"
+                        } else {
+                            "checkpoint write failed"
+                        },
+                    ))
+                })?;
+                println!("  checkpoint written to {} (step {step})", path.display());
+            }
+
+            if args.halt_after == Some(step - start_step) {
+                println!(
+                    "  halting after {} step(s) (simulated preemption)",
+                    step - start_step
+                );
+                break;
+            }
+        }
+        Ok((ct_w, step))
+    })?;
+
+    if completed < args.steps {
         println!(
-            "step {step}: encrypted weight updated at level {}",
-            ct_w.level()
+            "\nstopped at step {completed}/{}; resume with --resume --checkpoint <path>",
+            args.steps
         );
+        return Ok(());
     }
 
     // Verify: decrypt the per-slot weights and check a few slots against
@@ -99,7 +213,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..8 {
         let (x, y) = (xs[i], ys[i]);
         let mut w = 0.0;
-        for _ in 0..2 {
+        for _ in 0..completed {
             let grad = (0.5 + 0.15 * (w * x) - y) * x;
             w -= lr * grad;
         }

@@ -68,6 +68,7 @@ pub use bp_accel as accel;
 pub use bp_ckks as ckks;
 pub use bp_math as math;
 pub use bp_rns as rns;
+pub use bp_runtime as runtime;
 pub use bp_workloads as workloads;
 
 /// Unified error type spanning every layer of the workspace.
@@ -95,6 +96,27 @@ pub enum Error {
     Wire(ckks::wire::WireError),
     /// A low-level RNS polynomial invariant was violated.
     Rns(rns::RnsError),
+    /// A supervised job ended in a runtime-level terminal state (panic
+    /// contained, deadline, cancellation, breaker rejection, retry
+    /// exhaustion, or checkpoint failure).
+    Runtime(runtime::RuntimeError),
+}
+
+impl Error {
+    /// True when retrying the failed operation may succeed — the
+    /// corruption-class failures the fault-tolerant runtime retries
+    /// automatically (detected integrity violations, unreduced residues,
+    /// checksum mismatches, noise-budget exhaustion). Structural and
+    /// programming errors are permanent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Self::Eval(e) => e.is_transient(),
+            Self::Wire(e) => e.is_transient(),
+            Self::Rns(e) => e.is_transient(),
+            Self::Runtime(e) => e.is_transient(),
+            Self::Params(_) | Self::Chain(_) | Self::Context(_) => false,
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -106,6 +128,7 @@ impl std::fmt::Display for Error {
             Self::Eval(e) => write!(f, "evaluation error: {e}"),
             Self::Wire(e) => write!(f, "wire format error: {e}"),
             Self::Rns(e) => write!(f, "RNS error: {e}"),
+            Self::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }
 }
@@ -119,7 +142,14 @@ impl std::error::Error for Error {
             Self::Eval(e) => Some(e),
             Self::Wire(e) => Some(e),
             Self::Rns(e) => Some(e),
+            Self::Runtime(e) => Some(e),
         }
+    }
+}
+
+impl From<runtime::RuntimeError> for Error {
+    fn from(e: runtime::RuntimeError) -> Self {
+        Self::Runtime(e)
     }
 }
 
@@ -175,6 +205,7 @@ pub mod prelude {
     };
     pub use bp_math::{BigUint, FactoredScale, Modulus};
     pub use bp_rns::{Domain, PrimePool, RnsError, RnsPoly};
+    pub use bp_runtime::{Checkpoint, DegradePolicy, JobSpec, RetryPolicy, Runtime, RuntimeError};
     pub use bp_workloads::{App, Bootstrap, WorkloadSpec};
 }
 
