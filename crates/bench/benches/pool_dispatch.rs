@@ -1,0 +1,97 @@
+//! Dispatch-overhead microbenchmarks for the persistent worker pool.
+//!
+//! These isolate the *fan-out machinery* from the kernels it runs:
+//!
+//! * `empty`   — dispatch with a no-op chunk body: pure wake/claim/latch
+//!   round-trip cost of the parked pool.
+//! * `tiny`    — a 64-element touch per dispatch: the smallest fan-out the
+//!   evaluator ever attempts, i.e. the case the adaptive cutoff guards.
+//! * `inline`  — the same tiny body routed through the cutoff (work hint
+//!   below the threshold), which must cost barely more than a plain loop.
+//! * `spawn_scoped` — the pre-persistent-pool strategy (spawn scoped
+//!   threads per dispatch) on the identical body, as the A/B reference
+//!   the rewrite is justified against. On Linux a thread spawn+join is
+//!   tens of microseconds; a parked wake is hundreds of nanoseconds.
+//!
+//! Run with `cargo bench --bench pool_dispatch`.
+
+use bp_ckks::BpThreadPool;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const WORKERS: usize = 4;
+const TINY: usize = 64;
+
+/// The old per-dispatch strategy: spawn `workers` scoped threads, each
+/// running one chunk, join them all. Kept here (not in `bp-par`) purely
+/// as the benchmark baseline.
+fn spawn_scoped_for_each(workers: usize, n: usize, f: impl Fn(usize) + Sync) {
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let f = &f;
+            scope.spawn(move || {
+                let start = w * chunk;
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+fn bench_pool_dispatch(c: &mut Criterion) {
+    let pool = BpThreadPool::new(WORKERS);
+    // Warm the pool so thread spawning is not measured.
+    pool.par_for_each(WORKERS, |_| {});
+
+    let mut g = c.benchmark_group("pool_dispatch/empty");
+    g.bench_function(BenchmarkId::from_parameter(format!("t{WORKERS}")), |b| {
+        b.iter(|| {
+            pool.par_for_each(black_box(WORKERS), |i| {
+                black_box(i);
+            })
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("pool_dispatch/tiny");
+    let mut buf = vec![0u64; TINY];
+    g.bench_function(BenchmarkId::from_parameter(format!("t{WORKERS}")), |b| {
+        b.iter(|| {
+            pool.par_for_each_mut(&mut buf, |i, x| *x = i as u64);
+            black_box(buf[0]);
+        })
+    });
+    g.finish();
+
+    // Adaptive cutoff: same tiny body, but with an honest (tiny) work
+    // hint so the pool inlines it. This is the path every sub-threshold
+    // kernel takes after the rewrite.
+    let cutoff = BpThreadPool::with_min_work(WORKERS, 16 * 1024);
+    cutoff.par_for_each(WORKERS, |_| {}); // warm
+    let mut g = c.benchmark_group("pool_dispatch/inline");
+    g.bench_function(BenchmarkId::from_parameter(format!("t{WORKERS}")), |b| {
+        b.iter(|| {
+            cutoff.par_for_each_mut_with_work(&mut buf, 1, |i, x| *x = i as u64);
+            black_box(buf[0]);
+        })
+    });
+    g.finish();
+
+    // A/B reference: the spawn-per-dispatch strategy this PR replaced.
+    let mut g = c.benchmark_group("pool_dispatch/spawn_scoped");
+    g.sample_size(20);
+    g.bench_function(BenchmarkId::from_parameter(format!("t{WORKERS}")), |b| {
+        b.iter(|| {
+            spawn_scoped_for_each(WORKERS, TINY, |i| {
+                black_box(i);
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool_dispatch);
+criterion_main!(benches);

@@ -7,8 +7,15 @@
 //! `--release`:
 //!
 //! ```text
-//! cargo run --release -p bp-bench --bin bench_json [-- output.json]
+//! cargo run --release -p bp-bench --bin bench_json [-- output.json] [--fast] [--enforce-scaling]
 //! ```
+//!
+//! * `--fast` cuts the sample count (3 instead of 7) for smoke jobs where
+//!   wall-clock matters more than noise floor.
+//! * `--enforce-scaling` exits nonzero when any n=8192 op has
+//!   `t4/t1 < 1.0` — i.e. when multithreading *lost* to sequential at the
+//!   size where it must at least break even. Sub-1.0 ratios are always
+//!   reported loudly on stderr, enforced or not.
 
 use bp_bench::RunMeta;
 use bp_ckks::{BpThreadPool, CkksContext, CkksParams, KeySet, Representation, SecurityLevel};
@@ -19,7 +26,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 const SAMPLES: usize = 7;
+const FAST_SAMPLES: usize = 3;
 const THREAD_CONFIGS: [usize; 2] = [1, 4];
+/// `--enforce-scaling` fails the run when any op at this ring size has a
+/// t4/t1 ratio below [`SCALING_FLOOR`].
+const ENFORCED_N: usize = 8192;
+const SCALING_FLOOR: f64 = 1.0;
 
 struct Record {
     op: &'static str,
@@ -33,10 +45,10 @@ fn median_us(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn time_op<F: FnMut()>(mut f: F) -> f64 {
+fn time_op<F: FnMut()>(samples: usize, mut f: F) -> f64 {
     // One warm-up call outside measurement.
     f();
-    let mut samples: Vec<f64> = (0..SAMPLES)
+    let mut samples: Vec<f64> = (0..samples)
         .map(|_| {
             let t = Instant::now();
             f();
@@ -65,9 +77,21 @@ fn setup(log_n: u32, threads: usize) -> (CkksContext, KeySet) {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_cpu.json".to_string());
+    let mut out_path = "BENCH_cpu.json".to_string();
+    let mut fast = false;
+    let mut enforce_scaling = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--enforce-scaling" => enforce_scaling = true,
+            other if other.starts_with("--") => {
+                eprintln!("[bench_json] unknown flag {other}");
+                std::process::exit(2);
+            }
+            path => out_path = path.to_string(),
+        }
+    }
+    let samples = if fast { FAST_SAMPLES } else { SAMPLES };
     let mut records: Vec<Record> = Vec::new();
 
     for log_n in [12u32, 13] {
@@ -87,7 +111,7 @@ fn main() {
                 op: "ntt_roundtrip",
                 n,
                 threads,
-                median_us: time_op(|| {
+                median_us: time_op(samples, || {
                     ntt_poly.to_coeff();
                     ntt_poly.to_ntt();
                 }),
@@ -96,7 +120,7 @@ fn main() {
                 op: "mul_relin_rescale",
                 n,
                 threads,
-                median_us: time_op(|| {
+                median_us: time_op(samples, || {
                     let prod = ev.mul(&ct, &ct, &keys.evaluation).expect("aligned");
                     std::hint::black_box(ev.rescale(&prod).expect("levels left"));
                 }),
@@ -105,7 +129,7 @@ fn main() {
                 op: "rotate",
                 n,
                 threads,
-                median_us: time_op(|| {
+                median_us: time_op(samples, || {
                     std::hint::black_box(ev.rotate(&ct, 1, &keys.evaluation).expect("key exists"));
                 }),
             });
@@ -113,7 +137,7 @@ fn main() {
                 op: "adjust",
                 n,
                 threads,
-                median_us: time_op(|| {
+                median_us: time_op(samples, || {
                     std::hint::black_box(
                         ev.adjust_to(&ct, ctx.max_level() - 1).expect("level > 0"),
                     );
@@ -134,8 +158,12 @@ fn main() {
         })
         .collect();
 
-    // threads=4 vs threads=1 speedup per (op, n) when both exist.
+    // threads=4 vs threads=1 speedup per (op, n) when both exist. Any
+    // sub-1.0 ratio means the fan-out machinery cost more than it bought
+    // — shout about it rather than burying it in the JSON, and fail the
+    // run at the enforced size when --enforce-scaling is set.
     let mut speedups = Obj::new();
+    let mut enforcement_failures = 0usize;
     for r in &records {
         if r.threads != 1 {
             continue;
@@ -144,14 +172,25 @@ fn main() {
             .iter()
             .find(|p| p.op == r.op && p.n == r.n && p.threads == 4)
         {
+            let ratio = r.median_us / par.median_us;
             let key = format!("{}_n{}_t4_vs_t1", r.op, r.n);
-            speedups = speedups.f64(&key, (r.median_us / par.median_us * 100.0).round() / 100.0);
+            speedups = speedups.f64(&key, (ratio * 100.0).round() / 100.0);
+            if ratio < 1.0 {
+                eprintln!(
+                    "[bench_json] WARNING: {} n={} t4/t1 = {:.2} < 1.0 \
+                     (multithreading lost to sequential)",
+                    r.op, r.n, ratio
+                );
+                if enforce_scaling && r.n == ENFORCED_N && ratio < SCALING_FLOOR {
+                    enforcement_failures += 1;
+                }
+            }
         }
     }
 
     let json = RunMeta::collect("bitpacker-cpu-bench/v2")
         .header()
-        .u64("samples_per_op", SAMPLES as u64)
+        .u64("samples_per_op", samples as u64)
         .arr("results", results)
         .raw("speedups", speedups.build())
         .build();
@@ -159,4 +198,12 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_cpu.json");
     println!("{json}");
     println!("[bench_json] wrote {out_path}");
+
+    if enforcement_failures > 0 {
+        eprintln!(
+            "[bench_json] FAIL: {enforcement_failures} op(s) at n={ENFORCED_N} \
+             scaled below {SCALING_FLOOR} with 4 threads"
+        );
+        std::process::exit(1);
+    }
 }

@@ -438,6 +438,7 @@ impl<'a> Evaluator<'a> {
             a.scale.clone(),
             a.noise,
         );
+        p.into_scratch();
         self.observe(OpKind::AddPlain, sw, &ct);
         Ok(ct)
     }
@@ -461,6 +462,7 @@ impl<'a> Evaluator<'a> {
             a.scale.mul(&pt.scale),
             a.noise.mul_plain(pt.scale.log2()),
         );
+        p.into_scratch();
         self.observe(OpKind::MulPlain, sw, &ct);
         Ok(ct)
     }
@@ -486,6 +488,7 @@ impl<'a> Evaluator<'a> {
         d1.mul_add_assign(&a.c1, &b.c0)?;
         let d2 = a.c1.mul(&b.c1)?;
         let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin)?;
+        d2.into_scratch();
         let n = self.ctx.params().n();
         let ct = Ciphertext::new(
             d0.add_owned(&ks_b)?,
@@ -494,6 +497,8 @@ impl<'a> Evaluator<'a> {
             a.scale.mul(&b.scale),
             a.noise.mul(&b.noise).keyswitch(n),
         );
+        ks_b.into_scratch();
+        ks_a.into_scratch();
         self.observe(OpKind::Mul, sw, &ct);
         Ok(ct)
     }
@@ -511,6 +516,7 @@ impl<'a> Evaluator<'a> {
         d1.mul_scalar_u64(2);
         let d2 = a.c1.mul(&a.c1)?;
         let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin)?;
+        d2.into_scratch();
         let n = self.ctx.params().n();
         let ct = Ciphertext::new(
             d0.add_owned(&ks_b)?,
@@ -519,6 +525,8 @@ impl<'a> Evaluator<'a> {
             a.scale.square(),
             a.noise.mul(&a.noise).keyswitch(n),
         );
+        ks_b.into_scratch();
+        ks_a.into_scratch();
         self.observe(OpKind::Square, sw, &ct);
         Ok(ct)
     }
@@ -555,6 +563,7 @@ impl<'a> Evaluator<'a> {
         let c0t = rot(&a.c0)?;
         let c1t = rot(&a.c1)?;
         let (ks_b, ks_a) = self.apply_ksk(&c1t, key)?;
+        c1t.into_scratch();
         let ct = Ciphertext::new(
             c0t.add_owned(&ks_b)?,
             ks_a,
@@ -562,6 +571,7 @@ impl<'a> Evaluator<'a> {
             a.scale.clone(),
             a.noise.keyswitch(n),
         );
+        ks_b.into_scratch();
         self.observe(OpKind::Rotate, sw, &ct);
         Ok(ct)
     }
@@ -602,6 +612,7 @@ impl<'a> Evaluator<'a> {
             a.scale.clone(),
             a.noise,
         );
+        p.into_scratch();
         self.observe(OpKind::SubPlain, sw, &ct);
         Ok(ct)
     }
@@ -631,6 +642,7 @@ impl<'a> Evaluator<'a> {
         let c0t = rot(&a.c0)?;
         let c1t = rot(&a.c1)?;
         let (ks_b, ks_a) = self.apply_ksk(&c1t, key)?;
+        c1t.into_scratch();
         let ct = Ciphertext::new(
             c0t.add_owned(&ks_b)?,
             ks_a,
@@ -638,6 +650,7 @@ impl<'a> Evaluator<'a> {
             a.scale.clone(),
             a.noise.keyswitch(n),
         );
+        ks_b.into_scratch();
         self.observe(OpKind::Conjugate, sw, &ct);
         Ok(ct)
     }
@@ -782,6 +795,11 @@ impl<'a> Evaluator<'a> {
             // product temporaries.
             acc_b.mul_add_assign(&ext, &kb)?;
             acc_a.mul_add_assign(&ext, &ka)?;
+            // Retire the per-digit temporaries to the scratch pool so the
+            // next digit (and the next keyswitch) reuses their arenas.
+            ext.into_scratch();
+            kb.into_scratch();
+            ka.into_scratch();
         }
 
         // Mod-down by the special primes, reusing the cached P → Q_ℓ

@@ -4,42 +4,78 @@
 //! every residue is processed with *independent* per-index math, so the
 //! result of a loop over residues cannot depend on how the iterations are
 //! distributed over threads. [`BpThreadPool`] exploits exactly that
-//! structure — it partitions an index range into contiguous chunks and runs
-//! them on scoped threads ([`std::thread::scope`]), which gives three
-//! guarantees the FHE pipeline relies on:
+//! structure with a **persistent, parked worker pool**: workers are
+//! spawned once (lazily, on the first parallel dispatch), sleep on a
+//! condvar between dispatches, and wake to claim contiguous chunks of the
+//! index range. The design gives four guarantees the FHE pipeline relies
+//! on:
 //!
 //! 1. **Bit-identical results for any worker count.** Each index is
-//!    processed by the same closure with the same inputs regardless of the
-//!    chunk it lands in; no reductions, no shared accumulators, no
-//!    floating-point reassociation.
-//! 2. **Zero spawns in sequential mode.** A pool with `workers == 1` (or a
-//!    slice with a single element) runs the loop inline on the calling
-//!    thread — no thread is created, no synchronization happens, and the
-//!    code path is byte-for-byte the classic sequential loop.
-//! 3. **No detached state.** Scoped threads are joined before the call
-//!    returns, and a panic in any worker propagates to the caller, so the
-//!    panic-free-pipeline error contract of the surrounding crates is
-//!    unaffected.
+//!    processed by the same closure with the same inputs regardless of
+//!    the chunk it lands in and regardless of *which* thread runs the
+//!    chunk; no reductions, no shared accumulators, no floating-point
+//!    reassociation. Chunk *boundaries* depend only on `(len, workers)`,
+//!    never on timing.
+//! 2. **Zero dispatch cost in sequential mode.** A pool with
+//!    `workers == 1` (or a single-element slice) runs the loop inline on
+//!    the calling thread — no thread is ever spawned, no synchronization
+//!    happens, and the code path is byte-for-byte the classic sequential
+//!    loop. An **adaptive cutoff** extends this to small parallel pools:
+//!    when the caller supplies a per-item work estimate (the `*_with_work`
+//!    variants) and the estimated work per chunk falls below a calibrated
+//!    threshold ([`MIN_WORK_ENV_VAR`]), the fan-out runs inline too,
+//!    because waking workers would cost more than it saves.
+//! 3. **Panics propagate, the pool survives.** A panic in any chunk is
+//!    caught at the chunk boundary, the remaining chunks still run, and
+//!    the first panic payload is re-raised on the calling thread once the
+//!    dispatch completes — exactly the observable behavior of the old
+//!    scoped fork-join executor. The workers themselves never unwind, so
+//!    the pool remains usable after a propagated panic.
+//! 4. **No work outlives the call.** `dispatch` does not return until
+//!    every chunk has completed (a latch counts them), so borrowed data
+//!    handed to the closure is never touched after the call returns.
+//!    Dropping the pool parks no orphans: workers observe the shutdown
+//!    flag and exit.
 //!
 //! The worker count is configurable per pool ([`BpThreadPool::new`]), and
 //! the process-wide default ([`BpThreadPool::global`]) honours the
-//! `BITPACKER_THREADS` environment variable, falling back to the machine's
-//! available parallelism.
+//! `BITPACKER_THREADS` environment variable, falling back to the
+//! machine's available parallelism.
+//!
+//! Cancellation ([`CancelToken`]) stays cooperative and *coarser* than a
+//! dispatch: evaluator code polls the token between kernels, and an
+//! in-flight fan-out always runs to completion — cancelling mid-dispatch
+//! therefore cannot change the bytes produced by kernels that already
+//! started.
 //!
 //! With the `telemetry` feature, every parallel fan-out additionally
 //! records pool-utilization statistics (dispatches, chunks, per-worker
-//! busy nanoseconds, and max−min chunk imbalance) into the
-//! `bp-telemetry` counters; without it the hooks compile to nothing.
+//! busy nanoseconds, max−min chunk imbalance, and fan-outs elided by the
+//! adaptive cutoff) into the `bp-telemetry` counters; without it the
+//! hooks compile to nothing.
+//!
+//! # Why there is one `unsafe` block in this crate
+//!
+//! Persistent workers must run closures that borrow the caller's stack
+//! (`&mut [T]` chunks), but a parked thread cannot name that lifetime —
+//! this is the classic scoped-pool problem, and every persistent pool
+//! (rayon included) solves it the same way: erase the lifetime behind a
+//! raw pointer and guarantee *structurally* that the dispatch joins
+//! before the borrow ends. The erasure lives in the private `erased`
+//! module (plus the one guarded call site in `Job::run_chunks`), and the
+//! soundness argument is written next to it. The rest of the crate
+//! remains `#![deny(unsafe_code)]`.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 // The panic-free pipeline contract: library code may not unwrap. Known
 // invariants use expect() with a message naming the invariant; everything
 // else returns a typed error. Tests are exempt.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use bp_telemetry::counters::{self, Counter};
@@ -151,6 +187,97 @@ const AUTO_WORKER_CAP: usize = 64;
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV_VAR: &str = "BITPACKER_THREADS";
 
+/// Environment variable overriding the adaptive sequential cutoff:
+/// the minimum estimated work **per chunk**, in element-operation units
+/// (≈ one 64-bit modular multiply each), below which a `*_with_work`
+/// fan-out runs inline instead of waking the pool. `0` disables the
+/// cutoff (every eligible fan-out dispatches). Read when a pool is
+/// constructed.
+pub const MIN_WORK_ENV_VAR: &str = "BITPACKER_PAR_MIN_WORK";
+
+/// Default adaptive cutoff (element-operation units per chunk).
+///
+/// Calibration: a parked-pool dispatch costs single-digit microseconds
+/// (see the `pool_dispatch` bench); an elementwise modular pass runs at
+/// roughly 1–2 ns per element. 16 Ki element-ops per chunk ≈ 20–30 µs of
+/// work per worker, comfortably above dispatch cost. In practice this
+/// sends NTT-sized chunks (`n·log2 n` units per residue) to the pool and
+/// keeps small elementwise fan-outs at n=4096 inline.
+pub const DEFAULT_MIN_WORK: u64 = 16 * 1024;
+
+/// Work-estimate plumbing: `u64::MAX` per item marks "no estimate", which
+/// makes the cutoff comparison always choose the parallel path — the
+/// behavior of the plain (non-`_with_work`) entry points.
+const WORK_UNKNOWN: u64 = u64::MAX;
+
+thread_local! {
+    /// True while this thread is executing chunks of an in-flight
+    /// dispatch (worker or participating caller). Nested fan-outs from
+    /// inside a chunk closure run inline — the pool's workers are busy
+    /// with the outer dispatch, so parking on them would deadlock.
+    static IN_DISPATCH: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Lifetime erasure for the dispatch closure — the `unsafe` corner of
+/// the crate.
+///
+/// A persistent worker cannot name the lifetime of a caller's stack
+/// closure, so the dispatch loop hands workers a raw pointer and the
+/// surrounding structure guarantees validity. The soundness argument:
+///
+/// * **Liveness.** A worker dereferences the pointer only after winning a
+///   chunk claim (`next.fetch_add() < chunks`). Every claimed chunk holds
+///   the completion latch open until its `done_one`, and
+///   `BpThreadPool::dispatch` blocks on that latch before returning — so
+///   the referent closure (a local in `dispatch`'s caller frame) is alive
+///   for the duration of every call through the pointer.
+/// * **Aliasing.** The referent is `dyn Fn + Sync` — shared calls from
+///   several threads are part of its contract, checked at the only
+///   construction site ([`RunnerPtr::new`] takes `&(dyn Fn(usize) +
+///   Sync)`).
+mod erased {
+    #![allow(unsafe_code)]
+
+    /// Raw, lifetime-erased pointer to the chunk runner of one dispatch.
+    pub(crate) struct RunnerPtr(*const (dyn Fn(usize) + Sync));
+
+    impl RunnerPtr {
+        /// Erases the borrow. Soundness is argued at module level: the
+        /// dispatch that creates this pointer joins every chunk before
+        /// the borrow ends.
+        pub(crate) fn new(runner: &(dyn Fn(usize) + Sync)) -> Self {
+            let ptr = runner as *const (dyn Fn(usize) + Sync);
+            // SAFETY: pure lifetime erasure between identically laid out
+            // fat-pointer types (`dyn … + '_` → `dyn … + 'static`); no
+            // dereference happens here.
+            RunnerPtr(unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync + '_),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(ptr)
+            })
+        }
+
+        /// Runs chunk `chunk` through the erased closure.
+        ///
+        /// # Safety
+        /// The caller must hold a live chunk claim on the owning
+        /// dispatch (see module docs) so the referent cannot have been
+        /// dropped.
+        pub(crate) unsafe fn call(&self, chunk: usize) {
+            // SAFETY: liveness and shared-call aliasing are guaranteed by
+            // the claim/latch protocol documented at module level.
+            unsafe { (*self.0)(chunk) }
+        }
+    }
+
+    // SAFETY: the referent is `Sync` (enforced by `new`'s signature), so
+    // sharing and calling it from several threads is sound; liveness
+    // across threads is the latch argument at module level.
+    unsafe impl Send for RunnerPtr {}
+    unsafe impl Sync for RunnerPtr {}
+}
+
 /// Per-dispatch pool-utilization telemetry: one busy-time slot per chunk,
 /// folded into the global `par_*` counters when the dispatch joins.
 ///
@@ -183,7 +310,7 @@ impl FanoutStats {
     /// Folds this dispatch into the global counters: summed busy time
     /// and the max−min chunk spread (the imbalance a static partition
     /// leaves on the table).
-    fn finish(self) {
+    fn finish(&self) {
         let mut total = 0u64;
         let mut min = u64::MAX;
         let mut max = 0u64;
@@ -198,26 +325,187 @@ impl FanoutStats {
     }
 }
 
-/// A deterministic fork-join executor with a fixed worker count.
+/// Counts chunks still outstanding for one dispatch; the dispatching
+/// caller blocks on [`Latch::wait`] until every chunk has called
+/// [`Latch::done_one`].
+struct Latch {
+    left: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            left: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn done_one(&self) {
+        let mut left = self.left.lock().unwrap_or_else(PoisonError::into_inner);
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.left.lock().unwrap_or_else(PoisonError::into_inner);
+        while *left > 0 {
+            left = self.done.wait(left).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// One in-flight dispatch, shared between the caller and the workers.
+struct Job {
+    /// Lifetime-erased chunk runner (see [`erased`]).
+    runner: erased::RunnerPtr,
+    /// Total chunk count; claims at or past this value are spurious.
+    chunks: usize,
+    /// Claim counter: `fetch_add` hands each chunk index to exactly one
+    /// thread. Which thread wins a chunk is timing-dependent, but the
+    /// result is not — the runner depends only on the chunk index.
+    next: AtomicUsize,
+    /// Completion latch, counted in chunks.
+    latch: Latch,
+    /// First panic payload captured at a chunk boundary; re-raised on the
+    /// calling thread after the dispatch completes.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Utilization telemetry (`None` when telemetry is off).
+    stats: Option<FanoutStats>,
+}
+
+impl Job {
+    /// Claims and runs chunks until none remain. Runs on workers and on
+    /// the participating caller; panics are contained per chunk so the
+    /// latch always resolves and worker threads never unwind.
+    fn run_chunks(&self) {
+        IN_DISPATCH.set(true);
+        loop {
+            let ci = self.next.fetch_add(1, Ordering::Relaxed);
+            if ci >= self.chunks {
+                break;
+            }
+            let t0 = self.stats.as_ref().map(|_| Instant::now());
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // SAFETY: `ci < self.chunks` is a live claim — the latch
+                // holds `dispatch` open until this chunk's `done_one`.
+                #[allow(unsafe_code)]
+                unsafe {
+                    self.runner.call(ci)
+                }
+            }));
+            if let (Some(st), Some(t0)) = (self.stats.as_ref(), t0) {
+                st.record(ci, t0);
+            }
+            if let Err(payload) = result {
+                let mut slot = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            self.latch.done_one();
+        }
+        IN_DISPATCH.set(false);
+    }
+}
+
+/// Shared state behind the parked workers.
+struct PoolInner {
+    state: Mutex<PoolState>,
+    /// Workers park here; notified on publish and on shutdown.
+    work: Condvar,
+    /// Dispatchers queue here when another dispatch is in flight;
+    /// notified when the job slot clears.
+    idle: Condvar,
+}
+
+struct PoolState {
+    /// The single in-flight job, if any. One job at a time keeps chunk
+    /// assignment deterministic to reason about and makes the latch the
+    /// only completion protocol.
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+impl PoolInner {
+    /// Parked-worker main loop: sleep until a job with unclaimed chunks
+    /// (or shutdown) appears, help drain it, repeat.
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if let Some(job) = st.job.as_ref() {
+                        if job.next.load(Ordering::Relaxed) < job.chunks {
+                            break Arc::clone(job);
+                        }
+                    }
+                    st = self.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            job.run_chunks();
+        }
+    }
+}
+
+/// A deterministic fan-out executor with a fixed worker count and
+/// persistent, parked worker threads.
 ///
-/// The pool does not keep persistent worker threads: each parallel call
-/// spawns scoped threads for all chunks but the last (which runs on the
-/// calling thread) and joins them before returning. For the residue-sized
-/// workloads this crate serves (tens of microseconds to milliseconds per
-/// chunk) the spawn cost is noise, and the absence of persistent state
-/// keeps the executor trivially `Send + Sync` and leak-free.
-#[derive(Debug)]
+/// `workers − 1` OS threads are spawned lazily on the first parallel
+/// dispatch and then parked on a condvar; the calling thread always
+/// participates in its own dispatch, so a `workers == 1` pool never
+/// spawns anything and a `workers == 4` pool owns three parked threads.
+/// Per-dispatch cost is a mutex publish + condvar wakeup (single-digit
+/// microseconds) instead of the old per-call `std::thread::scope` spawns
+/// (tens of microseconds).
+///
+/// Chunk boundaries are a pure function of `(len, workers)`; which thread
+/// executes which chunk is claimed atomically and *is* timing-dependent,
+/// but results are not, because the closure depends only on the index.
+/// Dropping the pool signals shutdown and the workers exit; a pool is
+/// also safe to drop without ever having dispatched (nothing was
+/// spawned).
 pub struct BpThreadPool {
     workers: usize,
+    min_work: u64,
+    inner: OnceLock<Arc<PoolInner>>,
+}
+
+impl std::fmt::Debug for BpThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BpThreadPool")
+            .field("workers", &self.workers)
+            .field("min_work", &self.min_work)
+            .field("started", &self.inner.get().is_some())
+            .finish()
+    }
 }
 
 impl BpThreadPool {
     /// Creates a pool that splits work across `workers` threads.
     /// `workers == 0` is clamped to 1; `workers == 1` is the pure
-    /// sequential executor (parallel calls never spawn).
+    /// sequential executor (parallel calls never spawn). Worker threads
+    /// are not created until the first parallel dispatch. The adaptive
+    /// cutoff threshold is read from [`MIN_WORK_ENV_VAR`] at construction
+    /// time.
     pub fn new(workers: usize) -> Self {
+        Self::with_min_work(workers, min_work_from_env())
+    }
+
+    /// Like [`BpThreadPool::new`] with an explicit adaptive-cutoff
+    /// threshold (element-operation units per chunk; `0` disables the
+    /// cutoff), ignoring [`MIN_WORK_ENV_VAR`]. Intended for benchmarks
+    /// and tests that need both sides of the cutoff deterministically.
+    pub fn with_min_work(workers: usize, min_work: u64) -> Self {
         Self {
             workers: workers.max(1),
+            min_work,
+            inner: OnceLock::new(),
         }
     }
 
@@ -229,6 +517,13 @@ impl BpThreadPool {
     /// Builds a pool from the environment: `BITPACKER_THREADS` if set to a
     /// positive integer, otherwise the machine's available parallelism.
     /// Both sources are capped at 64 workers.
+    ///
+    /// Each call re-reads the environment, so this is the escape hatch
+    /// when [`BpThreadPool::global`]'s one-shot snapshot is too early —
+    /// e.g. a harness that sets `BITPACKER_THREADS` after some library
+    /// has already touched the global pool can build a fresh
+    /// `Arc::new(BpThreadPool::from_env())` and pass it to
+    /// `CkksContext::with_threads`.
     pub fn from_env() -> Self {
         if let Ok(v) = std::env::var(THREADS_ENV_VAR) {
             if let Ok(n) = v.trim().parse::<usize>() {
@@ -243,18 +538,119 @@ impl BpThreadPool {
         Self::new(detected.min(AUTO_WORKER_CAP))
     }
 
-    /// The process-wide default pool, initialized from the environment on
-    /// first use and shared by every context that does not supply its own
-    /// handle.
+    /// The process-wide default pool, shared by every context that does
+    /// not supply its own handle.
+    ///
+    /// **Snapshot semantics:** the environment (`BITPACKER_THREADS`,
+    /// `BITPACKER_PAR_MIN_WORK`) is read **once**, on the first call, and
+    /// the resulting pool is cached for the life of the process — later
+    /// changes to the environment are ignored by design, because contexts
+    /// and NTT tables capture the returned `Arc` and a mid-run worker
+    /// count change would silently split state across two pools. To pick
+    /// up a changed environment, construct a fresh pool with
+    /// [`BpThreadPool::from_env`] and pass it explicitly (e.g. via
+    /// `CkksContext::with_threads`).
     pub fn global() -> Arc<BpThreadPool> {
         static GLOBAL: OnceLock<Arc<BpThreadPool>> = OnceLock::new();
         Arc::clone(GLOBAL.get_or_init(|| Arc::new(BpThreadPool::from_env())))
     }
 
-    /// Number of worker threads this pool fans out to.
+    /// Number of worker threads this pool fans out to (including the
+    /// participating caller).
     #[inline]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The adaptive-cutoff threshold in effect (element-op units per
+    /// chunk; `0` = cutoff disabled).
+    #[inline]
+    pub fn min_work(&self) -> u64 {
+        self.min_work
+    }
+
+    /// Lazily spawns the parked workers. Spawn failure is tolerated:
+    /// the claim protocol lets the participating caller drain every
+    /// chunk by itself, so a short-spawned pool is slower, never wrong.
+    fn inner(&self) -> &Arc<PoolInner> {
+        self.inner.get_or_init(|| {
+            let inner = Arc::new(PoolInner {
+                state: Mutex::new(PoolState {
+                    job: None,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                idle: Condvar::new(),
+            });
+            for i in 0..self.workers.saturating_sub(1) {
+                let worker = Arc::clone(&inner);
+                let _ = std::thread::Builder::new()
+                    .name(format!("bp-par-{i}"))
+                    .spawn(move || worker.worker_loop());
+            }
+            inner
+        })
+    }
+
+    /// Publishes `runner` as `chunks` claimable chunks, participates in
+    /// draining them, and blocks until all complete. Re-raises the first
+    /// chunk panic after completion; the pool remains usable.
+    fn dispatch(&self, chunks: usize, runner: &(dyn Fn(usize) + Sync)) {
+        let inner = self.inner();
+        let job = Arc::new(Job {
+            runner: erased::RunnerPtr::new(runner),
+            chunks,
+            next: AtomicUsize::new(0),
+            latch: Latch::new(chunks),
+            panic: Mutex::new(None),
+            stats: FanoutStats::begin(chunks),
+        });
+        {
+            let mut st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+            // One dispatch at a time: distinct caller threads queue here.
+            while st.job.is_some() {
+                st = inner.idle.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            st.job = Some(Arc::clone(&job));
+            inner.work.notify_all();
+        }
+        job.run_chunks();
+        job.latch.wait();
+        {
+            let mut st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.job = None;
+            inner.idle.notify_one();
+        }
+        if let Some(st) = &job.stats {
+            st.finish();
+        }
+        let payload = job
+            .panic
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(p) = payload {
+            std::panic::resume_unwind(p);
+        }
+    }
+
+    /// `true` when a fan-out of `len` items with `per_item_work` estimated
+    /// element-ops each should run inline: sequential pool, single chunk,
+    /// nested inside an in-flight dispatch, or under the adaptive cutoff.
+    #[inline]
+    fn run_inline(&self, len: usize, per_item_work: u64) -> bool {
+        let jobs = self.workers.min(len);
+        if jobs <= 1 || IN_DISPATCH.get() {
+            return true;
+        }
+        if per_item_work != WORK_UNKNOWN {
+            let chunk = len.div_ceil(jobs) as u64;
+            if chunk.saturating_mul(per_item_work) < self.min_work {
+                counters::add(Counter::ParInline, 1);
+                return true;
+            }
+        }
+        false
     }
 
     /// Runs `f(index, &mut item)` for every element of `items`, fanning the
@@ -264,104 +660,99 @@ impl BpThreadPool {
     /// arguments regardless of the worker count, so any `f` whose effect on
     /// `items[i]` depends only on `(i, items[i])` and immutable captures
     /// produces bit-identical results at every thread count.
+    ///
+    /// This entry point has no work estimate and therefore never applies
+    /// the adaptive cutoff; prefer
+    /// [`BpThreadPool::par_for_each_mut_with_work`] on hot paths.
     pub fn par_for_each_mut<T, F>(&self, items: &mut [T], f: F)
     where
         T: Send,
         F: Fn(usize, &mut T) + Sync,
     {
-        let jobs = self.workers.min(items.len());
-        if jobs <= 1 {
+        self.par_for_each_mut_with_work(items, WORK_UNKNOWN, f);
+    }
+
+    /// [`BpThreadPool::par_for_each_mut`] with an adaptive cutoff:
+    /// `per_item_work` estimates the cost of one item in element-operation
+    /// units (≈ one 64-bit modular multiply; an elementwise pass over an
+    /// `n`-coefficient residue is `n`, an NTT is `n·log2 n`). When the
+    /// estimated work per chunk falls below the pool's threshold the loop
+    /// runs inline on the calling thread — bit-identically, since chunk
+    /// placement never affects results.
+    pub fn par_for_each_mut_with_work<T, F>(&self, items: &mut [T], per_item_work: u64, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let len = items.len();
+        if self.run_inline(len, per_item_work) {
             for (i, item) in items.iter_mut().enumerate() {
                 f(i, item);
             }
             return;
         }
-        let chunk = items.len().div_ceil(jobs);
-        let stats = FanoutStats::begin(items.len().div_ceil(chunk));
-        std::thread::scope(|s| {
-            let mut rest = items;
-            let mut base = 0usize;
-            let mut chunk_idx = 0usize;
-            while rest.len() > chunk {
-                let (head, tail) = rest.split_at_mut(chunk);
-                let fr = &f;
-                let st = stats.as_ref();
-                let ci = chunk_idx;
-                s.spawn(move || {
-                    let t0 = st.map(|_| Instant::now());
-                    for (off, item) in head.iter_mut().enumerate() {
-                        fr(base + off, item);
-                    }
-                    if let (Some(st), Some(t0)) = (st, t0) {
-                        st.record(ci, t0);
-                    }
-                });
-                base += chunk;
-                chunk_idx += 1;
-                rest = tail;
-            }
-            // Final chunk runs on the calling thread; the scope joins the
-            // spawned workers (propagating any panic) before returning.
-            let t0 = stats.as_ref().map(|_| Instant::now());
-            for (off, item) in rest.iter_mut().enumerate() {
+        let chunk = len.div_ceil(self.workers.min(len));
+        // Pre-split into per-chunk subslices; each worker takes exactly
+        // one out of its slot, so no two threads ever alias an element.
+        let mut parts: Vec<(usize, Mutex<Option<&mut [T]>>)> =
+            Vec::with_capacity(len.div_ceil(chunk));
+        let mut rest = items;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            parts.push((base, Mutex::new(Some(head))));
+            base += take;
+            rest = tail;
+        }
+        let runner = |ci: usize| {
+            let (base, slot) = &parts[ci];
+            let part = slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("each chunk is claimed exactly once");
+            for (off, item) in part.iter_mut().enumerate() {
                 f(base + off, item);
             }
-            if let (Some(st), Some(t0)) = (stats.as_ref(), t0) {
-                st.record(chunk_idx, t0);
-            }
-        });
-        if let Some(st) = stats {
-            st.finish();
-        }
+        };
+        self.dispatch(parts.len(), &runner);
     }
 
     /// Runs `f(index)` for every index in `0..len` across the pool's
     /// workers (contiguous chunks). Use when the closure only reads shared
-    /// state or synchronizes internally.
+    /// state or synchronizes internally. No work estimate — the cutoff
+    /// never applies; prefer [`BpThreadPool::par_for_each_with_work`] on
+    /// hot paths.
     pub fn par_for_each<F>(&self, len: usize, f: F)
     where
         F: Fn(usize) + Sync,
     {
-        let jobs = self.workers.min(len);
-        if jobs <= 1 {
+        self.par_for_each_with_work(len, WORK_UNKNOWN, f);
+    }
+
+    /// [`BpThreadPool::par_for_each`] with an adaptive cutoff; see
+    /// [`BpThreadPool::par_for_each_mut_with_work`] for the work unit.
+    pub fn par_for_each_with_work<F>(&self, len: usize, per_item_work: u64, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.run_inline(len, per_item_work) {
             for i in 0..len {
                 f(i);
             }
             return;
         }
-        let chunk = len.div_ceil(jobs);
-        let stats = FanoutStats::begin(len.div_ceil(chunk));
-        std::thread::scope(|s| {
-            let mut start = 0usize;
-            let mut chunk_idx = 0usize;
-            while start + chunk < len {
-                let end = start + chunk;
-                let fr = &f;
-                let st = stats.as_ref();
-                let ci = chunk_idx;
-                s.spawn(move || {
-                    let t0 = st.map(|_| Instant::now());
-                    for i in start..end {
-                        fr(i);
-                    }
-                    if let (Some(st), Some(t0)) = (st, t0) {
-                        st.record(ci, t0);
-                    }
-                });
-                start = end;
-                chunk_idx += 1;
-            }
-            let t0 = stats.as_ref().map(|_| Instant::now());
-            for i in start..len {
+        let chunk = len.div_ceil(self.workers.min(len));
+        let chunks = len.div_ceil(chunk);
+        let runner = |ci: usize| {
+            let start = ci * chunk;
+            let end = (start + chunk).min(len);
+            for i in start..end {
                 f(i);
             }
-            if let (Some(st), Some(t0)) = (stats.as_ref(), t0) {
-                st.record(chunk_idx, t0);
-            }
-        });
-        if let Some(st) = stats {
-            st.finish();
-        }
+        };
+        self.dispatch(chunks, &runner);
     }
 
     /// Computes `f(index)` for every index in `0..len` in parallel and
@@ -372,11 +763,21 @@ impl BpThreadPool {
         U: Send,
         F: Fn(usize) -> U + Sync,
     {
-        if self.workers.min(len) <= 1 {
+        self.par_map_with_work(len, WORK_UNKNOWN, f)
+    }
+
+    /// [`BpThreadPool::par_map`] with an adaptive cutoff; see
+    /// [`BpThreadPool::par_for_each_mut_with_work`] for the work unit.
+    pub fn par_map_with_work<U, F>(&self, len: usize, per_item_work: u64, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if self.run_inline(len, per_item_work) {
             return (0..len).map(f).collect();
         }
         let mut out: Vec<Option<U>> = (0..len).map(|_| None).collect();
-        self.par_for_each_mut(&mut out, |i, slot| {
+        self.par_for_each_mut_with_work(&mut out, per_item_work, |i, slot| {
             *slot = Some(f(i));
         });
         out.into_iter()
@@ -389,6 +790,30 @@ impl Default for BpThreadPool {
     fn default() -> Self {
         Self::from_env()
     }
+}
+
+impl Drop for BpThreadPool {
+    /// Signals the parked workers to exit. No dispatch can be in flight
+    /// here (`&mut self` is exclusive), so workers observe the flag at
+    /// their next wakeup and return; nothing blocks.
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.get() {
+            let mut st = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.shutdown = true;
+            inner.work.notify_all();
+        }
+    }
+}
+
+/// Parses [`MIN_WORK_ENV_VAR`]; unset or unparsable falls back to
+/// [`DEFAULT_MIN_WORK`].
+fn min_work_from_env() -> u64 {
+    parse_min_work(std::env::var(MIN_WORK_ENV_VAR).ok().as_deref())
+}
+
+fn parse_min_work(v: Option<&str>) -> u64 {
+    v.and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_MIN_WORK)
 }
 
 #[cfg(test)]
@@ -436,6 +861,75 @@ mod tests {
     }
 
     #[test]
+    fn pool_is_reused_across_many_dispatches() {
+        // Exercises the park/wake cycle: the same three workers serve
+        // every dispatch.
+        let pool = BpThreadPool::new(4);
+        for round in 0..200usize {
+            let mut v = vec![0usize; 37];
+            pool.par_for_each_mut(&mut v, |i, x| *x = i * round);
+            for (i, x) in v.iter().enumerate() {
+                assert_eq!(*x, i * round, "round={round}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_cutoff_runs_inline_and_is_bit_identical() {
+        // Threshold far above the hinted work: every fan-out elides.
+        let inline = BpThreadPool::with_min_work(4, u64::MAX);
+        // Threshold 0: cutoff disabled, every fan-out dispatches.
+        let parallel = BpThreadPool::with_min_work(4, 0);
+        for len in [1usize, 5, 64, 257] {
+            let a = inline.par_map_with_work(len, 8, |i| (i as u64).wrapping_mul(0x2545F491));
+            let b = parallel.par_map_with_work(len, 8, |i| (i as u64).wrapping_mul(0x2545F491));
+            assert_eq!(a, b, "len={len}");
+        }
+    }
+
+    #[test]
+    fn min_work_env_parsing() {
+        assert_eq!(parse_min_work(None), DEFAULT_MIN_WORK);
+        assert_eq!(parse_min_work(Some("0")), 0);
+        assert_eq!(parse_min_work(Some(" 4096 ")), 4096);
+        assert_eq!(parse_min_work(Some("banana")), DEFAULT_MIN_WORK);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let pool = Arc::new(BpThreadPool::new(4));
+        let count = AtomicUsize::new(0);
+        let p2 = Arc::clone(&pool);
+        pool.par_for_each(8, |_| {
+            // Inner fan-out from inside a chunk: must run inline on this
+            // thread instead of parking on the busy pool.
+            p2.par_for_each(16, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8 * 16);
+    }
+
+    #[test]
+    fn concurrent_dispatches_from_distinct_threads_serialize() {
+        let pool = Arc::new(BpThreadPool::new(4));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for round in 0..50usize {
+                        let mut v = vec![0usize; 29];
+                        pool.par_for_each_mut(&mut v, |i, x| *x = i + t + round);
+                        for (i, x) in v.iter().enumerate() {
+                            assert_eq!(*x, i + t + round);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
     fn cancel_token_reports_requested_cancellation() {
         let t = CancelToken::new();
         assert_eq!(t.cancelled(), None);
@@ -461,6 +955,26 @@ mod tests {
     }
 
     #[test]
+    fn cancellation_mid_dispatch_lets_the_dispatch_finish() {
+        // Cancellation is cooperative and coarser than a dispatch: an
+        // in-flight fan-out always completes every index even if the
+        // token fires while chunks are running.
+        let pool = BpThreadPool::new(4);
+        let token = CancelToken::new();
+        let mut v = vec![0u64; 64];
+        let t = token.clone();
+        pool.par_for_each_mut(&mut v, |i, x| {
+            if i == 0 {
+                t.cancel();
+            }
+            *x = i as u64 + 1;
+        });
+        assert_eq!(token.cancelled(), Some(CancelReason::Requested));
+        let expect: Vec<u64> = (1..=64).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
     #[should_panic(expected = "worker panic propagates")]
     fn worker_panic_propagates_to_caller() {
         let pool = BpThreadPool::new(4);
@@ -470,5 +984,58 @@ mod tests {
                 panic!("worker panic propagates");
             }
         });
+    }
+
+    #[test]
+    fn pool_remains_usable_after_propagated_panic() {
+        let pool = Arc::new(BpThreadPool::new(4));
+        for round in 0..5usize {
+            let p = Arc::clone(&pool);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let mut v = vec![0u8; 64];
+                p.par_for_each_mut(&mut v, |i, _| {
+                    if i == 17 {
+                        panic!("round {round} chunk panic");
+                    }
+                });
+            }));
+            assert!(caught.is_err(), "panic must propagate (round {round})");
+            // Same pool, clean dispatch: workers survived the unwind.
+            let mut v = vec![0u64; 64];
+            pool.par_for_each_mut(&mut v, |i, x| *x = i as u64);
+            let expect: Vec<u64> = (0..64).collect();
+            assert_eq!(v, expect, "pool must stay usable (round {round})");
+        }
+    }
+
+    #[test]
+    fn every_other_chunk_still_runs_when_one_panics() {
+        // Panic containment is chunk-grained (as with the old scoped
+        // pool, where the unwinding thread abandoned its chunk loop): the
+        // panicking chunk stops at the panic, every other chunk completes
+        // before the payload is re-raised. len=64 over 4 workers gives
+        // chunks of 16; a panic at i=5 skips the 10 remaining indices of
+        // chunk 0 only.
+        let pool = BpThreadPool::new(4);
+        let ran = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.par_for_each(64, |i| {
+                if i == 5 {
+                    panic!("chunk panic");
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(ran.load(Ordering::Relaxed), 64 - (16 - 5));
+    }
+
+    #[test]
+    fn dropping_an_unused_pool_is_cheap_and_dropping_a_used_pool_is_clean() {
+        drop(BpThreadPool::new(8)); // never dispatched: nothing spawned
+        let pool = BpThreadPool::new(8);
+        let mut v = vec![0u64; 32];
+        pool.par_for_each_mut(&mut v, |i, x| *x = i as u64);
+        drop(pool); // workers observe shutdown and exit
     }
 }

@@ -42,4 +42,20 @@ fn fanout_records_utilization_and_sequential_does_not() {
     bp_telemetry::set_enabled(false);
     pool.par_for_each(64, |_| {});
     assert_eq!(counters::get(Counter::ParDispatches), 3);
+
+    // Adaptive cutoff: a hinted fan-out whose estimated work falls below
+    // the pool's min-work threshold runs inline and is counted as such,
+    // not as a dispatch.
+    bp_telemetry::set_enabled(true);
+    bp_telemetry::reset();
+    let cutoff = BpThreadPool::with_min_work(4, 1 << 20);
+    let mut small = vec![0u64; 64];
+    cutoff.par_for_each_mut_with_work(&mut small, 1, |i, x| *x = i as u64);
+    assert_eq!(counters::get(Counter::ParInline), 1);
+    assert_eq!(counters::get(Counter::ParDispatches), 0);
+
+    // Above the threshold the same pool fans out.
+    cutoff.par_for_each_with_work(64, 1 << 20, |_| {});
+    assert_eq!(counters::get(Counter::ParInline), 1);
+    assert_eq!(counters::get(Counter::ParDispatches), 1);
 }

@@ -18,7 +18,8 @@
 //! dominate homomorphic-multiply cost, which is why BitPacker's reduction in
 //! residue count pays off superlinearly (paper Sec. 4.2).
 
-use crate::{Domain, NttTable, ResiduePoly, RnsError};
+use crate::poly::{elemwise_work, ntt_work};
+use crate::{scratch, Domain, NttTable, ResiduePoly, RnsError};
 use bp_math::BigUint;
 use std::sync::Arc;
 
@@ -144,21 +145,26 @@ impl BasisConverter {
         bp_telemetry::counters::add(bp_telemetry::counters::Counter::BasisConversions, 1);
         let _span = bp_telemetry::spans::span(bp_telemetry::spans::SpanKind::BasisConvert);
         let ex = Arc::clone(self.src_tables[0].threads());
+        let n = self.src_tables[0].n();
 
         // tᵢ = xᵢ · (P/pᵢ)⁻¹ mod pᵢ — independent per source residue.
-        let t_vals: Vec<Vec<u64>> = ex.par_map(src.len(), |i| {
+        // Scratch-backed temporaries: copy the residue, transform in
+        // place, and recycle once the accumulation pass is done.
+        let t_vals: Vec<Vec<u64>> = ex.par_map_with_work(src.len(), elemwise_work(n), |i| {
             let r = &src[i];
             let (inv, inv_s) = self.inv_phat[i];
             let m = r.table().modulus();
-            r.coeffs()
-                .iter()
-                .map(|&x| m.mul_shoup(x, inv, inv_s))
-                .collect()
+            let mut t = scratch::take_copy(r.coeffs());
+            for x in t.iter_mut() {
+                *x = m.mul_shoup(*x, inv, inv_s);
+            }
+            t
         });
 
         // Each destination residue accumulates over all tᵢ — independent
         // per destination residue.
-        let out = ex.par_map(self.dst_tables.len(), |j| {
+        let acc_work = elemwise_work(n).saturating_mul(src.len() as u64);
+        let out = ex.par_map_with_work(self.dst_tables.len(), acc_work, |j| {
             let dt = &self.dst_tables[j];
             let row = &self.phat_mod_dst[j];
             let m = dt.modulus();
@@ -171,6 +177,9 @@ impl BasisConverter {
             }
             out
         });
+        for t in t_vals {
+            scratch::recycle(t);
+        }
         Ok(out)
     }
 
@@ -187,21 +196,26 @@ impl BasisConverter {
         target_domain: Domain,
     ) -> Result<Vec<ResiduePoly>, RnsError> {
         let ex = Arc::clone(self.src_tables[0].threads());
-        let coeff_src: Vec<ResiduePoly>;
-        let src_ref: &[ResiduePoly] = if src_domain == Domain::Ntt {
-            coeff_src = ex.par_map(src.len(), |i| {
-                let mut c = src[i].clone();
+        let n = self.src_tables[0].n();
+        let mut out = if src_domain == Domain::Ntt {
+            // Scratch-backed coefficient-domain copies, recycled as soon
+            // as the conversion has consumed them.
+            let coeff_src: Vec<ResiduePoly> = ex.par_map_with_work(src.len(), ntt_work(n), |i| {
+                let mut c = src[i].clone_scratch();
                 let t = Arc::clone(c.table());
                 t.inverse(c.coeffs_mut());
                 c
             });
-            &coeff_src
+            let converted = self.convert(&coeff_src);
+            for c in coeff_src {
+                c.recycle();
+            }
+            converted?
         } else {
-            src
+            self.convert(src)?
         };
-        let mut out = self.convert(src_ref)?;
         if target_domain == Domain::Ntt {
-            ex.par_for_each_mut(&mut out, |_, r| {
+            ex.par_for_each_mut_with_work(&mut out, ntt_work(n), |_, r| {
                 let t = Arc::clone(r.table());
                 t.forward(r.coeffs_mut());
             });

@@ -55,6 +55,7 @@ mod ntt;
 mod poly;
 mod pool;
 pub mod rescale;
+pub mod scratch;
 
 #[cfg(feature = "fault-injection")]
 pub mod fault;

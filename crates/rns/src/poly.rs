@@ -7,7 +7,7 @@
 //! the same inputs regardless of the worker count, so results are
 //! bit-identical at any thread setting.
 
-use crate::{NttTable, PrimePool, RnsError};
+use crate::{scratch, NttTable, PrimePool, RnsError};
 use bp_math::BigUint;
 use bp_par::BpThreadPool;
 use bp_telemetry::counters::Counter;
@@ -17,6 +17,20 @@ use std::sync::Arc;
 #[inline]
 fn count_elemwise(residues: usize) {
     bp_telemetry::counters::add(Counter::ElemwiseOps, residues as u64);
+}
+
+/// Adaptive-cutoff work estimate for one elementwise pass over an
+/// `n`-coefficient residue (unit ≈ one 64-bit modular multiply).
+#[inline]
+pub(crate) fn elemwise_work(n: usize) -> u64 {
+    n as u64
+}
+
+/// Adaptive-cutoff work estimate for one NTT/INTT over an `n`-coefficient
+/// residue: `n · log2 n` butterflies.
+#[inline]
+pub(crate) fn ntt_work(n: usize) -> u64 {
+    (n as u64).saturating_mul(u64::from(usize::BITS - 1 - n.leading_zeros()).max(1))
 }
 
 /// Telemetry: `k` residues shed, extracted, or appended.
@@ -43,13 +57,33 @@ pub struct ResiduePoly {
 }
 
 impl ResiduePoly {
-    /// An all-zero residue polynomial for the given table.
+    /// An all-zero residue polynomial for the given table. The backing
+    /// buffer comes from the thread-local [`scratch`] pool when one is
+    /// available, so short-lived zero polynomials (keyswitch accumulators)
+    /// avoid the allocator.
     pub fn zero(table: Arc<NttTable>) -> Self {
         let n = table.n();
         Self {
             table,
-            coeffs: vec![0; n],
+            coeffs: scratch::take_zeroed(n),
         }
+    }
+
+    /// A copy of this residue whose buffer comes from the thread-local
+    /// [`scratch`] pool when one is available. Identical values to
+    /// `clone()`; only the allocation strategy differs.
+    pub(crate) fn clone_scratch(&self) -> Self {
+        Self {
+            table: Arc::clone(&self.table),
+            coeffs: scratch::take_copy(&self.coeffs),
+        }
+    }
+
+    /// Retires this residue's buffer into the thread-local [`scratch`]
+    /// pool. Call on temporaries that would otherwise be dropped at the
+    /// end of a kernel; purely an allocator bypass, never required.
+    pub fn recycle(self) {
+        scratch::recycle(self.coeffs);
     }
 
     /// The prime modulus of this residue.
@@ -129,7 +163,7 @@ impl RnsPoly {
     pub fn from_i128_coeffs(pool: &PrimePool, moduli: &[u64], coeffs: &[i128]) -> Self {
         assert!(coeffs.len() <= pool.n(), "too many coefficients");
         let mut p = Self::zero(pool, moduli, Domain::Coeff);
-        p.for_each_residue_mut(|_, r| {
+        p.for_each_residue_mut(4 * elemwise_work(pool.n()), |_, r| {
             let q = r.modulus() as i128;
             for (dst, &c) in r.coeffs.iter_mut().zip(coeffs) {
                 let v = c.rem_euclid(q);
@@ -194,6 +228,17 @@ impl RnsPoly {
         self.residues
     }
 
+    /// Retires every residue buffer into the thread-local [`scratch`]
+    /// pool. Call on kernel temporaries (keyswitch digit extensions,
+    /// consumed accumulators) instead of dropping them, so the next
+    /// `zero`/`restricted` of the same degree reuses the memory. Purely
+    /// an allocator bypass — skipping it is always correct.
+    pub fn into_scratch(self) {
+        for r in self.residues {
+            r.recycle();
+        }
+    }
+
     /// The executor carried by this polynomial's tables, if any residue
     /// exists.
     fn executor(&self) -> Option<Arc<BpThreadPool>> {
@@ -201,13 +246,15 @@ impl RnsPoly {
     }
 
     /// Runs `f(index, residue)` over every residue, in parallel when the
-    /// attached executor has more than one worker.
-    fn for_each_residue_mut<F>(&mut self, f: F)
+    /// attached executor has more than one worker. `per_item_work` is the
+    /// adaptive-cutoff estimate for one residue (see [`elemwise_work`] /
+    /// [`ntt_work`]); fan-outs below the pool's threshold run inline.
+    fn for_each_residue_mut<F>(&mut self, per_item_work: u64, f: F)
     where
         F: Fn(usize, &mut ResiduePoly) + Sync,
     {
         if let Some(ex) = self.executor() {
-            ex.par_for_each_mut(&mut self.residues, f);
+            ex.par_for_each_mut_with_work(&mut self.residues, per_item_work, f);
         }
     }
 
@@ -216,7 +263,7 @@ impl RnsPoly {
         if self.domain == Domain::Ntt {
             return;
         }
-        self.for_each_residue_mut(|_, r| {
+        self.for_each_residue_mut(ntt_work(self.n), |_, r| {
             let table = Arc::clone(&r.table);
             table.forward(&mut r.coeffs);
         });
@@ -228,7 +275,7 @@ impl RnsPoly {
         if self.domain == Domain::Coeff {
             return;
         }
-        self.for_each_residue_mut(|_, r| {
+        self.for_each_residue_mut(ntt_work(self.n), |_, r| {
             let table = Arc::clone(&r.table);
             table.inverse(&mut r.coeffs);
         });
@@ -283,7 +330,7 @@ impl RnsPoly {
         self.check_compatible(other)?;
         count_elemwise(self.residues.len());
         let rhs = other.residues.as_slice();
-        self.for_each_residue_mut(|i, a| {
+        self.for_each_residue_mut(elemwise_work(self.n), |i, a| {
             let m = *a.table.modulus();
             for (x, &y) in a.coeffs.iter_mut().zip(&rhs[i].coeffs) {
                 *x = m.add(*x, y);
@@ -317,7 +364,7 @@ impl RnsPoly {
         self.check_compatible(other)?;
         count_elemwise(self.residues.len());
         let rhs = other.residues.as_slice();
-        self.for_each_residue_mut(|i, a| {
+        self.for_each_residue_mut(elemwise_work(self.n), |i, a| {
             let m = *a.table.modulus();
             for (x, &y) in a.coeffs.iter_mut().zip(&rhs[i].coeffs) {
                 *x = m.sub(*x, y);
@@ -331,7 +378,8 @@ impl RnsPoly {
     pub fn neg(&self) -> Self {
         count_elemwise(self.residues.len());
         let mut out = self.clone();
-        out.for_each_residue_mut(|_, r| {
+        let work = elemwise_work(self.n);
+        out.for_each_residue_mut(work, |_, r| {
             let m = *r.table.modulus();
             for x in &mut r.coeffs {
                 *x = m.neg(*x);
@@ -375,7 +423,7 @@ impl RnsPoly {
         self.check_compatible(other)?;
         count_elemwise(self.residues.len());
         let rhs = other.residues.as_slice();
-        self.for_each_residue_mut(|i, a| {
+        self.for_each_residue_mut(elemwise_work(self.n), |i, a| {
             let m = *a.table.modulus();
             for (x, &y) in a.coeffs.iter_mut().zip(&rhs[i].coeffs) {
                 *x = m.mul(*x, y);
@@ -405,7 +453,7 @@ impl RnsPoly {
         count_elemwise(self.residues.len());
         let xs = x.residues.as_slice();
         let ys = y.residues.as_slice();
-        self.for_each_residue_mut(|i, acc| {
+        self.for_each_residue_mut(elemwise_work(self.n), |i, acc| {
             let m = *acc.table.modulus();
             for ((a, &xv), &yv) in acc.coeffs.iter_mut().zip(&xs[i].coeffs).zip(&ys[i].coeffs) {
                 *a = m.mul_add(xv, yv, *a);
@@ -429,7 +477,7 @@ impl RnsPoly {
             });
         }
         count_elemwise(self.residues.len());
-        self.for_each_residue_mut(|i, r| {
+        self.for_each_residue_mut(elemwise_work(self.n), |i, r| {
             let m = *r.table.modulus();
             let c = m.reduce(consts[i]);
             let cs = m.shoup(c);
@@ -477,10 +525,10 @@ impl RnsPoly {
         let src = self.residues.as_slice();
         let residues = match self.executor() {
             None => Vec::new(),
-            Some(ex) => ex.par_map(src.len(), |k| {
+            Some(ex) => ex.par_map_with_work(src.len(), elemwise_work(n), |k| {
                 let sp = &src[k];
                 let m = *sp.table.modulus();
-                let mut new = vec![0u64; n];
+                let mut new = scratch::take_zeroed(n);
                 for (i, &c) in sp.coeffs.iter().enumerate() {
                     let j = (i * t) % two_n;
                     if j < n {
@@ -603,7 +651,7 @@ impl RnsPoly {
                 self.residues
                     .iter()
                     .find(|r| r.modulus() == q)
-                    .cloned()
+                    .map(ResiduePoly::clone_scratch)
                     .ok_or(RnsError::MissingModulus { modulus: q })
             })
             .collect::<Result<Vec<_>, _>>()?;

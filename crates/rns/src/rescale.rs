@@ -12,7 +12,8 @@
 //! in `bp-ckks`.
 
 use crate::basis::BasisConverter;
-use crate::{Domain, NttTable, RnsError, RnsPoly};
+use crate::poly::{elemwise_work, ntt_work};
+use crate::{scratch, Domain, NttTable, RnsError, RnsPoly};
 use bp_math::BigUint;
 use std::sync::Arc;
 
@@ -36,14 +37,15 @@ pub fn rns_rescale_once(poly: &mut RnsPoly) -> Result<(), RnsError> {
     }
     bp_telemetry::counters::add(bp_telemetry::counters::Counter::Rescales, 1);
     let domain = poly.domain();
-    let last = poly.pop_residues(1)?.pop().expect("one residue");
+    let n = poly.n();
+    let mut last = poly.pop_residues(1)?.pop().expect("one residue");
     let q_last = last.modulus();
 
-    // Bring the shed residue to coefficient form for cross-modulus reduction.
-    let mut last_coeff = last.clone();
+    // Bring the shed residue to coefficient form for cross-modulus
+    // reduction; it is ours (popped), so convert in place.
     if domain == Domain::Ntt {
-        let t = Arc::clone(last_coeff.table());
-        t.inverse(last_coeff.coeffs_mut());
+        let t = Arc::clone(last.table());
+        t.inverse(last.coeffs_mut());
     }
 
     let ex = poly
@@ -51,25 +53,38 @@ pub fn rns_rescale_once(poly: &mut RnsPoly) -> Result<(), RnsError> {
         .first()
         .map(|r| Arc::clone(r.table().threads()));
     if let Some(ex) = ex {
-        let lc = &last_coeff;
-        ex.par_for_each_mut(poly.residues_mut(), |_, r| {
+        let lc = &last;
+        // Per-residue cost: reduce + correct (2 elementwise passes), plus
+        // a forward NTT of the correction when in NTT domain.
+        let work = if domain == Domain::Ntt {
+            ntt_work(n).saturating_add(2 * elemwise_work(n))
+        } else {
+            2 * elemwise_work(n)
+        };
+        ex.par_for_each_mut_with_work(poly.residues_mut(), work, |_, r| {
             let m = *r.table().modulus();
             let table = Arc::clone(r.table());
             let inv_q = m.inv(q_last % m.value()).expect("moduli coprime");
             let inv_q_s = m.shoup(inv_q);
 
             // Reduce the shed residue into this modulus (coefficient
-            // domain), then match the main domain.
-            let mut corr: Vec<u64> = lc.coeffs().iter().map(|&x| m.reduce(x)).collect();
+            // domain), then match the main domain. Scratch-backed: the
+            // correction buffer is recycled per residue.
+            let mut corr = scratch::take_copy(lc.coeffs());
+            for x in corr.iter_mut() {
+                *x = m.reduce(*x);
+            }
             if domain == Domain::Ntt {
                 table.forward(&mut corr);
             }
-            for (x, c) in r.coeffs_mut().iter_mut().zip(corr) {
+            for (x, &c) in r.coeffs_mut().iter_mut().zip(corr.iter()) {
                 let d = m.sub(*x, c);
                 *x = m.mul_shoup(d, inv_q, inv_q_s);
             }
+            scratch::recycle(corr);
         });
     }
+    last.recycle();
     Ok(())
 }
 
@@ -186,7 +201,8 @@ fn apply_scale_down(
         .first()
         .map(|r| Arc::clone(r.table().threads()));
     if let Some(ex) = ex {
-        ex.par_for_each_mut(poly.residues_mut(), |i, r| {
+        let work = 2 * elemwise_work(poly.n());
+        ex.par_for_each_mut_with_work(poly.residues_mut(), work, |i, r| {
             let m = *r.table().modulus();
             let inv_p = m.inv(p.rem_u64(m.value())).expect("moduli coprime");
             let inv_p_s = m.shoup(inv_p);
@@ -195,6 +211,11 @@ fn apply_scale_down(
                 *x = m.mul_shoup(d, inv_p, inv_p_s);
             }
         });
+    }
+    // The correction polynomials are kernel temporaries: retire their
+    // buffers for the next conversion of the same degree.
+    for c in corrections {
+        c.recycle();
     }
     Ok(())
 }

@@ -51,6 +51,16 @@ pub enum Counter {
     ParBusyNs,
     /// Per-dispatch max−min chunk time, accumulated. Utilization class.
     ParImbalanceNs,
+    /// Fan-outs the adaptive cutoff ran inline because the estimated
+    /// per-chunk work was below the dispatch threshold. Utilization
+    /// class.
+    ParInline,
+    /// Scratch-buffer requests served from the thread-local recycle pool
+    /// (no allocator round-trip). Utilization class.
+    ScratchReuses,
+    /// Scratch-buffer requests that fell through to a fresh allocation.
+    /// Utilization class.
+    ScratchAllocs,
     /// Jobs submitted to the fault-tolerant runtime. Utilization class.
     RtJobs,
     /// Job attempts retried after a transient failure. Utilization class.
@@ -69,7 +79,7 @@ pub enum Counter {
 }
 
 /// Number of counters in [`Counter::ALL`].
-pub const NUM_COUNTERS: usize = 20;
+pub const NUM_COUNTERS: usize = 23;
 
 impl Counter {
     /// Every counter, in stable report order.
@@ -88,6 +98,9 @@ impl Counter {
         Counter::ParChunks,
         Counter::ParBusyNs,
         Counter::ParImbalanceNs,
+        Counter::ParInline,
+        Counter::ScratchReuses,
+        Counter::ScratchAllocs,
         Counter::RtJobs,
         Counter::RtRetries,
         Counter::RtPanics,
@@ -113,6 +126,9 @@ impl Counter {
             Counter::ParChunks => "par_chunks",
             Counter::ParBusyNs => "par_busy_ns",
             Counter::ParImbalanceNs => "par_imbalance_ns",
+            Counter::ParInline => "par_inline",
+            Counter::ScratchReuses => "scratch_reuses",
+            Counter::ScratchAllocs => "scratch_allocs",
             Counter::RtJobs => "rt_jobs",
             Counter::RtRetries => "rt_retries",
             Counter::RtPanics => "rt_panics",
@@ -132,6 +148,9 @@ impl Counter {
                 | Counter::ParChunks
                 | Counter::ParBusyNs
                 | Counter::ParImbalanceNs
+                | Counter::ParInline
+                | Counter::ScratchReuses
+                | Counter::ScratchAllocs
                 | Counter::RtJobs
                 | Counter::RtRetries
                 | Counter::RtPanics
