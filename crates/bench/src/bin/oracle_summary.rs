@@ -1,0 +1,82 @@
+//! Conformance-oracle summary: differential-fuzz coverage per word size.
+//!
+//! Runs a fixed block of seeded oracle programs at every supported word
+//! size (BitPacker vs RNS-CKKS vs exact plaintext reference, wire
+//! round-trip at every node) and reports coverage — programs, nodes, op
+//! mix — alongside the divergence count, which must be zero on a healthy
+//! tree. A per-word CSV row lands in `results/oracle_summary.csv`.
+//!
+//! Usage: `oracle_summary [--seeds N]` (default 100 per word size).
+
+use std::time::Instant;
+
+use bp_bench::write_csv;
+use bp_oracle::{generate, run_program, OracleEnv, WORD_LABELS};
+use bp_telemetry::trace::OpKind;
+
+fn main() {
+    let mut seeds = 100u64;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                seeds = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seeds needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (usage: oracle_summary [--seeds N])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("Conformance oracle — {seeds} programs per word size\n");
+    println!(
+        "{:<6} {:>9} {:>8} {:>7} {:>9} {:>11} {:>9}",
+        "word", "programs", "nodes", "muls", "rescales", "divergences", "ms"
+    );
+    let mut rows = Vec::new();
+    let mut total_divergences = 0usize;
+    for &label in &WORD_LABELS {
+        let env = OracleEnv::new(label).expect("oracle environment");
+        let start = Instant::now();
+        let (mut nodes, mut muls, mut rescales, mut divergences) = (0usize, 0, 0, 0);
+        for seed in 0..seeds {
+            let program = generate(seed, label, env.limits);
+            nodes += program.num_nodes();
+            for op in &program.ops {
+                match op.kind() {
+                    OpKind::Mul | OpKind::Square | OpKind::MulPlain => muls += 1,
+                    OpKind::Rescale | OpKind::Adjust => rescales += 1,
+                    _ => {}
+                }
+            }
+            if let Some(d) = run_program(&env, &program) {
+                divergences += 1;
+                eprintln!("DIVERGENCE w{label} seed {seed}: {d}");
+            }
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{label:<6} {seeds:>9} {nodes:>8} {muls:>7} {rescales:>9} {divergences:>11} {ms:>9.0}"
+        );
+        rows.push(format!(
+            "{label},{seeds},{nodes},{muls},{rescales},{divergences},{ms:.1}"
+        ));
+        total_divergences += divergences;
+    }
+    if let Some(path) = write_csv(
+        "oracle_summary.csv",
+        "word_bits,programs,nodes,muls,rescales,divergences,ms",
+        &rows,
+    ) {
+        println!("\nwrote {}", path.display());
+    }
+    if total_divergences > 0 {
+        eprintln!("\n{total_divergences} divergences — backends disagree, investigate!");
+        std::process::exit(1);
+    }
+    println!("all programs agree across both backends and the reference");
+}

@@ -201,6 +201,17 @@ impl<'a> Evaluator<'a> {
         });
     }
 
+    /// Clamps a freshly produced result's noise estimate to the modulus
+    /// capacity of its level (see
+    /// [`clamp_to_capacity`](crate::noise::NoiseEstimate::clamp_to_capacity)):
+    /// an op whose output magnitude no longer fits `[-Q_l/2, Q_l/2)` has
+    /// wrapped, and the estimate must report an exhausted budget instead
+    /// of carrying the pre-wrap mantissa forward.
+    fn clamp_capacity(&self, ct: &mut Ciphertext) {
+        let log_q = self.chain().log_q_at(ct.level);
+        ct.noise = ct.noise.clamp_to_capacity(log_q);
+    }
+
     /// Auto-align repair: adjusts `ct` down to `target`, recording one
     /// repair-flagged `Adjust` trace entry per level step and one
     /// [`Event::Repair`] on the event stream.
@@ -383,13 +394,14 @@ impl<'a> Evaluator<'a> {
         self.check_cancel()?;
         let sw = Stopwatch::start();
         let (a, b) = self.align(OpKind::Add, a, b)?;
-        let ct = Ciphertext::new(
+        let mut ct = Ciphertext::new(
             a.c0.add(&b.c0)?,
             a.c1.add(&b.c1)?,
             a.level,
             a.scale.clone(),
             a.noise.add(&b.noise),
         );
+        self.clamp_capacity(&mut ct);
         self.observe(OpKind::Add, sw, &ct);
         Ok(ct)
     }
@@ -402,13 +414,14 @@ impl<'a> Evaluator<'a> {
         self.check_cancel()?;
         let sw = Stopwatch::start();
         let (a, b) = self.align(OpKind::Sub, a, b)?;
-        let ct = Ciphertext::new(
+        let mut ct = Ciphertext::new(
             a.c0.sub(&b.c0)?,
             a.c1.sub(&b.c1)?,
             a.level,
             a.scale.clone(),
             a.noise.add(&b.noise),
         );
+        self.clamp_capacity(&mut ct);
         self.observe(OpKind::Sub, sw, &ct);
         Ok(ct)
     }
@@ -455,13 +468,14 @@ impl<'a> Evaluator<'a> {
         let a = self.align_to_plain(OpKind::MulPlain, a, pt)?;
         let mut p = pt.poly.clone();
         p.to_ntt();
-        let ct = Ciphertext::new(
+        let mut ct = Ciphertext::new(
             a.c0.mul(&p)?,
             a.c1.mul(&p)?,
             a.level,
             a.scale.mul(&pt.scale),
             a.noise.mul_plain(pt.scale.log2()),
         );
+        self.clamp_capacity(&mut ct);
         p.into_scratch();
         self.observe(OpKind::MulPlain, sw, &ct);
         Ok(ct)
@@ -490,13 +504,14 @@ impl<'a> Evaluator<'a> {
         let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin)?;
         d2.into_scratch();
         let n = self.ctx.params().n();
-        let ct = Ciphertext::new(
+        let mut ct = Ciphertext::new(
             d0.add_owned(&ks_b)?,
             d1.add_owned(&ks_a)?,
             a.level,
             a.scale.mul(&b.scale),
             a.noise.mul(&b.noise).keyswitch(n),
         );
+        self.clamp_capacity(&mut ct);
         ks_b.into_scratch();
         ks_a.into_scratch();
         self.observe(OpKind::Mul, sw, &ct);
@@ -518,13 +533,14 @@ impl<'a> Evaluator<'a> {
         let (ks_b, ks_a) = self.apply_ksk(&d2, &ek.relin)?;
         d2.into_scratch();
         let n = self.ctx.params().n();
-        let ct = Ciphertext::new(
+        let mut ct = Ciphertext::new(
             d0.add_owned(&ks_b)?,
             d1.add_owned(&ks_a)?,
             a.level,
             a.scale.square(),
             a.noise.mul(&a.noise).keyswitch(n),
         );
+        self.clamp_capacity(&mut ct);
         ks_b.into_scratch();
         ks_a.into_scratch();
         self.observe(OpKind::Square, sw, &ct);

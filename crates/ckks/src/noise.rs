@@ -112,6 +112,30 @@ impl NoiseEstimate {
     pub fn is_healthy(&self, margin_bits: f64) -> bool {
         self.clear_bits() >= margin_bits
     }
+
+    /// Caps the estimate at the modulus capacity of its level.
+    ///
+    /// Ciphertext coefficients live in `[-Q/2, Q/2)`; once the combined
+    /// message-plus-noise magnitude no longer fits, the coefficients wrap
+    /// and the plaintext is unrecoverable. The pre-wrap estimate would
+    /// keep reporting a healthy mantissa (the arithmetic that *produced*
+    /// the wrap is noise-free), so this marks the estimate as fully
+    /// consumed instead: `clear_bits() == 0`, which makes
+    /// [`crate::CkksContext::decrypt`] refuse with `BudgetExhausted`
+    /// rather than return garbage. Found by the `bp-oracle` differential
+    /// fuzzer (squaring at level 0 where `Q₀ < S₀²`).
+    #[must_use]
+    pub fn clamp_to_capacity(&self, log_q: f64) -> Self {
+        let total = log2_sum(self.message_bits, self.noise_bits);
+        if total > log_q - 1.0 {
+            Self {
+                noise_bits: self.noise_bits.max(self.message_bits),
+                message_bits: self.message_bits,
+            }
+        } else {
+            *self
+        }
+    }
 }
 
 /// `log₂(2^a + 2^b)` without overflow.

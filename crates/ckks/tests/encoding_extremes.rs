@@ -1,0 +1,169 @@
+//! Encoder/decoder round-trips at extreme slot magnitudes.
+//!
+//! The canonical-embedding encoder quantizes `value × scale` to integer
+//! coefficients, so three input classes sit right at the edge of its
+//! contract and deserve dedicated coverage at *secure* parameter sets
+//! (the rest of the suite runs `SecurityLevel::Insecure` for speed):
+//!
+//! * **all-zero vectors** — must decode to exact zeros, not FFT dust;
+//! * **subnormals** (down to 5e-324) — far below the quantization step;
+//!   they must quantize cleanly to ~0 without NaN/Inf or panic;
+//! * **± max-scale magnitudes** — the largest values whose scaled
+//!   coefficients still fit the level modulus; round-trip must preserve
+//!   them to relative precision.
+
+use bp_ckks::{CkksContext, CkksParams, Representation, SecurityLevel};
+use proptest::prelude::*;
+
+/// Builds a context that actually satisfies the requested security level
+/// (checked by `ModulusChain::new` against the HE-standard budget):
+/// N = 2^13 allows 218 bits of total modulus (chain + keyswitching
+/// specials) at 128-bit security and 316 bits at 80-bit, so the 80-bit
+/// set carries extra levels.
+fn ctx(sec: SecurityLevel, repr: Representation) -> CkksContext {
+    let levels = match sec {
+        SecurityLevel::Bits80 => 4,
+        _ => 2,
+    };
+    let params = CkksParams::builder()
+        .log_n(13)
+        .word_bits(28)
+        .representation(repr)
+        .security(sec)
+        .levels(levels, 30)
+        .base_modulus_bits(35)
+        .build()
+        .expect("secure parameter set builds");
+    CkksContext::new(&params).expect("context")
+}
+
+const SECURE_LEVELS: [SecurityLevel; 2] = [SecurityLevel::Bits128, SecurityLevel::Bits80];
+const REPRS: [Representation; 2] = [Representation::BitPacker, Representation::RnsCkks];
+
+#[test]
+fn all_zero_vector_decodes_to_exact_zeros() {
+    for sec in SECURE_LEVELS {
+        for repr in REPRS {
+            let c = ctx(sec, repr);
+            let zeros = vec![0.0f64; c.encoder().slots()];
+            for level in 0..=c.max_level() {
+                let back = c.decode(&c.encode(&zeros, level));
+                assert_eq!(back.len(), c.encoder().slots());
+                for (i, v) in back.iter().enumerate() {
+                    assert!(
+                        *v == 0.0,
+                        "{sec:?}/{repr:?} level {level} slot {i}: zero decoded as {v}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn subnormals_quantize_to_zero_without_panicking() {
+    // Every slot magnitude here is far below one quantization step
+    // (2^-30): the encoder must round them all to zero coefficients and
+    // the decode must come back finite and ~0 — never NaN, Inf, or junk.
+    let tiny = [
+        f64::MIN_POSITIVE,       // smallest normal, 2^-1022
+        f64::MIN_POSITIVE / 2.0, // subnormal
+        5e-324,                  // smallest subnormal
+        -5e-324,
+        -f64::MIN_POSITIVE,
+        1e-200,
+        -1e-200,
+        0.0,
+        -0.0,
+    ];
+    for sec in SECURE_LEVELS {
+        for repr in REPRS {
+            let c = ctx(sec, repr);
+            let back = c.decode(&c.encode(&tiny, c.max_level()));
+            for (i, v) in back.iter().enumerate() {
+                assert!(v.is_finite(), "{sec:?}/{repr:?} slot {i}: {v}");
+                assert!(
+                    v.abs() < 1e-6,
+                    "{sec:?}/{repr:?} slot {i}: subnormal decoded as {v}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn max_scale_magnitudes_round_trip_at_relative_precision() {
+    // The embedding keeps |coeff| ≈ max|v|·scale, so the largest cleanly
+    // representable magnitude at level `l` is about Q_l / (2·scale). Probe
+    // 3 bits inside that bound at every level of both secure chains —
+    // at the base level that is only a few, at the top level ~2^30.
+    for sec in SECURE_LEVELS {
+        for repr in REPRS {
+            let c = ctx(sec, repr);
+            let slots = c.encoder().slots();
+            let n = 2.0 * slots as f64;
+            for level in 0..=c.max_level() {
+                let scale = c.chain().scale_at(level).to_f64();
+                // Two caps: the level modulus, and the encoder's i128
+                // coefficient representation (|v|·scale must fit i128).
+                let cap_bits = (c.chain().log_q_at(level) - 3.0).min(126.0);
+                let mag = 2f64.powf((cap_bits - scale.log2()).floor());
+                for m in [mag, -mag] {
+                    let vals: Vec<f64> = (0..slots)
+                        .map(|i| if i % 2 == 0 { m } else { -m / 2.0 })
+                        .collect();
+                    let back = c.decode(&c.encode(&vals, level));
+                    // Quantization adds ~n/scale absolute error per slot.
+                    let tol = mag * 1e-9 + n / scale;
+                    for (i, (a, b)) in vals.iter().zip(&back).enumerate() {
+                        assert!(
+                            (a - b).abs() <= tol,
+                            "{sec:?}/{repr:?} level {level} slot {i}: {a} decoded as {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a u64 into an f64 whose magnitude spans the full extreme
+/// range: exponent field 0 (subnormals, down to 5e-324) through values
+/// around 2^20, with random mantissa and sign. Never NaN/Inf.
+fn extreme_f64(bits: u64) -> f64 {
+    let sign = bits >> 63;
+    // Bias 1023 → unbiased exponent in [-1023 (subnormal), +20].
+    let exp_field = (bits >> 52) & 0x7FF;
+    let exp_field = exp_field % 1044; // 0..=1043 → exponent ≤ 20
+    let mantissa = bits & 0x000F_FFFF_FFFF_FFFF;
+    f64::from_bits((sign << 63) | (exp_field << 52) | mantissa)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Random vectors mixing subnormals, tiny, moderate, and large (up to
+    // ~2^20) magnitudes in the same encoding: the round-trip error per
+    // slot must stay within quantization tolerance (~n/scale absolute)
+    // plus FFT roundoff (relative), at both secure levels.
+    #[test]
+    fn mixed_extreme_magnitudes_round_trip(
+        words in proptest::collection::vec(any::<u64>(), 8..33),
+        sec_bit in any::<bool>(),
+        repr_bit in any::<bool>()
+    ) {
+        let sec = if sec_bit { SecurityLevel::Bits128 } else { SecurityLevel::Bits80 };
+        let repr = if repr_bit { Representation::BitPacker } else { Representation::RnsCkks };
+        let c = ctx(sec, repr);
+        let vals: Vec<f64> = words.iter().map(|&w| extreme_f64(w)).collect();
+        let back = c.decode(&c.encode(&vals, c.max_level()));
+        for (i, (a, b)) in vals.iter().zip(&back).enumerate() {
+            prop_assert!(b.is_finite(), "slot {} decoded non-finite: {}", i, b);
+            let tol = 1e-4 + 1e-6 * a.abs();
+            prop_assert!(
+                (a - b).abs() <= tol,
+                "{:?}/{:?} slot {}: {} decoded as {}", sec, repr, i, a, b
+            );
+        }
+    }
+}

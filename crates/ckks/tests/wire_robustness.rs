@@ -140,6 +140,112 @@ fn header_forgery_is_rejected_with_typed_errors() {
     assert!(read_ciphertext(&ctx, &bytes).is_ok());
 }
 
+/// Byte offsets in the fixed-size prefix of the wire format (see
+/// `bp-ckks::wire`): magic 0..4, version 4, domain 5, level 6..10,
+/// n 10..14, scale pow2 14..22, scale factor count 22..26.
+const OFF_LEVEL: usize = 6;
+const OFF_SCALE_FACTORS: usize = 22;
+
+/// Offset of the `n_residues` count of `c0`, computed from the live
+/// factor count so the test stays correct if the scale shape changes.
+fn off_c0_residues(bytes: &[u8]) -> usize {
+    let n_factors = u32::from_le_bytes(
+        bytes[OFF_SCALE_FACTORS..OFF_SCALE_FACTORS + 4]
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    // factor list (prime u64 + exp i64 each) + two noise-estimate f64s.
+    OFF_SCALE_FACTORS + 4 + n_factors * 16 + 16
+}
+
+#[test]
+fn zero_residue_header_is_rejected_not_decoded() {
+    let ctx = ctx();
+    let bytes = sample_bytes(&ctx);
+    let pos = off_c0_residues(&bytes);
+    // Claim zero residues for c0; leave the payload in place (extra bytes)
+    // and also try with the payload stripped (consistent-length forgery).
+    let mut bad = bytes.clone();
+    bad[pos..pos + 4].copy_from_slice(&0u32.to_le_bytes());
+    assert!(
+        matches!(read_ciphertext(&ctx, &bad), Err(WireError::Incompatible(_))),
+        "zero-residue header must be rejected"
+    );
+    let mut stripped = bytes[..pos + 4].to_vec();
+    stripped[pos..pos + 4].copy_from_slice(&0u32.to_le_bytes());
+    assert!(read_ciphertext(&ctx, &stripped).is_err());
+}
+
+#[test]
+fn truncated_digit_counts_are_rejected() {
+    let ctx = ctx();
+    let bytes = sample_bytes(&ctx);
+
+    // A residue count larger than the payload actually carries: the
+    // reader must hit a typed error, not index out of bounds.
+    let pos = off_c0_residues(&bytes);
+    let actual = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+    for claim in [actual + 1, actual + 7, 4096] {
+        let mut bad = bytes.clone();
+        bad[pos..pos + 4].copy_from_slice(&claim.to_le_bytes());
+        assert!(
+            read_ciphertext(&ctx, &bad).is_err(),
+            "inflated residue count {claim} must be rejected"
+        );
+    }
+    // Counts beyond the sanity cap are Malformed even before comparison.
+    let mut bad = bytes.clone();
+    bad[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        read_ciphertext(&ctx, &bad),
+        Err(WireError::Malformed(_))
+    ));
+
+    // A scale factor count pointing past the end of the stream.
+    for claim in [100u32, 4096, u32::MAX] {
+        let mut bad = bytes.clone();
+        bad[OFF_SCALE_FACTORS..OFF_SCALE_FACTORS + 4].copy_from_slice(&claim.to_le_bytes());
+        assert!(
+            matches!(read_ciphertext(&ctx, &bad), Err(WireError::Malformed(_))),
+            "inflated factor count {claim} must be Malformed"
+        );
+    }
+}
+
+#[test]
+fn level_beyond_chain_is_rejected_at_every_value() {
+    let ctx = ctx();
+    let bytes = sample_bytes(&ctx);
+    for level in [ctx.max_level() as u32 + 1, 64, 4096, u32::MAX] {
+        let mut bad = bytes.clone();
+        bad[OFF_LEVEL..OFF_LEVEL + 4].copy_from_slice(&level.to_le_bytes());
+        assert!(
+            matches!(read_ciphertext(&ctx, &bad), Err(WireError::Incompatible(_))),
+            "level {level} must be Incompatible"
+        );
+    }
+}
+
+#[test]
+fn random_byte_soup_never_panics() {
+    use rand::RngCore;
+    let ctx = ctx();
+    let mut rng = ChaCha20Rng::seed_from_u64(0xF00D);
+    // Pure noise of varied lengths, plus noise behind a valid magic +
+    // version prefix so the deeper parse paths are exercised too.
+    for len in 0..256usize {
+        let mut buf = vec![0u8; len];
+        rng.fill_bytes(&mut buf);
+        assert!(read_ciphertext(&ctx, &buf).is_err());
+        if len >= 6 {
+            buf[..4].copy_from_slice(b"BPCT");
+            buf[4] = 2; // current version
+            buf[5] = (len % 2) as u8; // valid domain tag
+            assert!(read_ciphertext(&ctx, &buf).is_err());
+        }
+    }
+}
+
 #[test]
 fn transience_classification_matches_fault_semantics() {
     // Integrity = this copy is damaged, refetch can fix → transient.

@@ -1,0 +1,415 @@
+//! The oracle's program model and its replayable JSON trace codec.
+//!
+//! A [`Program`] is a straight-line DAG: nodes `0..inputs` are fresh
+//! encryptions of seeded slot vectors, node `inputs + k` is the result of
+//! `ops[k]`, and each op references earlier nodes by index. Programs are
+//! fully determined by `(seed, word_bits, inputs, ops)`, so a failing one
+//! serializes to a small JSON trace that replays bit-identically with
+//! `cargo run -p bp-oracle -- replay <trace.json>`.
+//!
+//! The trace reuses the `bp-telemetry` trace conventions: the same
+//! dependency-free [`bp_telemetry::json`] codec and the same op vocabulary
+//! ([`OpKind::name`]) that `EvalTrace` records, so oracle traces and
+//! evaluator traces speak one op language.
+
+use bp_telemetry::json::{Json, JsonError, Obj};
+use bp_telemetry::trace::OpKind;
+
+/// Schema tag stamped on every oracle trace.
+pub const ORACLE_SCHEMA: &str = "bitpacker-oracle-trace/v1";
+
+/// One evaluator operation over program nodes (indices into the DAG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Homomorphic addition of nodes `a` and `b`.
+    Add {
+        /// Left operand node.
+        a: usize,
+        /// Right operand node.
+        b: usize,
+    },
+    /// Homomorphic subtraction `a − b`.
+    Sub {
+        /// Left operand node.
+        a: usize,
+        /// Right operand node.
+        b: usize,
+    },
+    /// Negation of node `a`.
+    Negate {
+        /// Operand node.
+        a: usize,
+    },
+    /// Adds a seeded plaintext vector to node `a`.
+    AddPlain {
+        /// Operand node.
+        a: usize,
+        /// Seed deriving the plaintext slot values.
+        pseed: u64,
+    },
+    /// Subtracts a seeded plaintext vector from node `a`.
+    SubPlain {
+        /// Operand node.
+        a: usize,
+        /// Seed deriving the plaintext slot values.
+        pseed: u64,
+    },
+    /// Multiplies node `a` by a seeded plaintext vector.
+    MulPlain {
+        /// Operand node.
+        a: usize,
+        /// Seed deriving the plaintext slot values.
+        pseed: u64,
+    },
+    /// Ciphertext–ciphertext multiplication (with relinearization).
+    Mul {
+        /// Left operand node.
+        a: usize,
+        /// Right operand node.
+        b: usize,
+    },
+    /// Homomorphic squaring of node `a`.
+    Square {
+        /// Operand node.
+        a: usize,
+    },
+    /// Slot rotation of node `a` by `steps` (positive = left).
+    Rotate {
+        /// Operand node.
+        a: usize,
+        /// Rotation amount.
+        steps: i64,
+    },
+    /// Complex conjugation of node `a` (identity on real slot vectors).
+    Conjugate {
+        /// Operand node.
+        a: usize,
+    },
+    /// Rescale of node `a` to the next level down.
+    Rescale {
+        /// Operand node.
+        a: usize,
+    },
+    /// Adjust of node `a` down to `target` level.
+    Adjust {
+        /// Operand node.
+        a: usize,
+        /// Destination level.
+        target: usize,
+    },
+}
+
+impl Op {
+    /// The telemetry [`OpKind`] this op corresponds to — the shared op
+    /// vocabulary between oracle traces and evaluator traces.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Add { .. } => OpKind::Add,
+            Op::Sub { .. } => OpKind::Sub,
+            Op::Negate { .. } => OpKind::Negate,
+            Op::AddPlain { .. } => OpKind::AddPlain,
+            Op::SubPlain { .. } => OpKind::SubPlain,
+            Op::MulPlain { .. } => OpKind::MulPlain,
+            Op::Mul { .. } => OpKind::Mul,
+            Op::Square { .. } => OpKind::Square,
+            Op::Rotate { .. } => OpKind::Rotate,
+            Op::Conjugate { .. } => OpKind::Conjugate,
+            Op::Rescale { .. } => OpKind::Rescale,
+            Op::Adjust { .. } => OpKind::Adjust,
+        }
+    }
+
+    /// The node indices this op reads (one or two).
+    pub fn operands(&self) -> (usize, Option<usize>) {
+        match *self {
+            Op::Add { a, b } | Op::Sub { a, b } | Op::Mul { a, b } => (a, Some(b)),
+            Op::Negate { a }
+            | Op::AddPlain { a, .. }
+            | Op::SubPlain { a, .. }
+            | Op::MulPlain { a, .. }
+            | Op::Square { a }
+            | Op::Rotate { a, .. }
+            | Op::Conjugate { a }
+            | Op::Rescale { a }
+            | Op::Adjust { a, .. } => (a, None),
+        }
+    }
+
+    /// Returns a copy with every node reference rewritten through `map`
+    /// (used by the shrinker when nodes are removed and renumbered).
+    pub(crate) fn remap(&self, map: impl Fn(usize) -> usize) -> Op {
+        let mut op = *self;
+        match &mut op {
+            Op::Add { a, b } | Op::Sub { a, b } | Op::Mul { a, b } => {
+                *a = map(*a);
+                *b = map(*b);
+            }
+            Op::Negate { a }
+            | Op::AddPlain { a, .. }
+            | Op::SubPlain { a, .. }
+            | Op::MulPlain { a, .. }
+            | Op::Square { a }
+            | Op::Rotate { a, .. }
+            | Op::Conjugate { a }
+            | Op::Rescale { a }
+            | Op::Adjust { a, .. } => *a = map(*a),
+        }
+        op
+    }
+}
+
+/// A complete oracle program: seeded inputs plus a straight-line op list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Seed the generator (and the input slot vectors) were derived from.
+    pub seed: u64,
+    /// Word-size label the program targets (28/32/48/64).
+    pub word_bits: u32,
+    /// Number of fresh-encryption input nodes.
+    pub inputs: usize,
+    /// Operations; op `k` defines node `inputs + k`.
+    pub ops: Vec<Op>,
+}
+
+/// Errors from parsing an oracle trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The document is not valid JSON.
+    Json(JsonError),
+    /// The JSON is well-formed but not a valid oracle trace.
+    Schema(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Json(e) => write!(f, "trace is not valid JSON: {e}"),
+            TraceError::Schema(m) => write!(f, "trace does not match the oracle schema: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<JsonError> for TraceError {
+    fn from(e: JsonError) -> Self {
+        TraceError::Json(e)
+    }
+}
+
+impl Program {
+    /// Total node count (inputs + op results).
+    pub fn num_nodes(&self) -> usize {
+        self.inputs + self.ops.len()
+    }
+
+    /// Structural validity: every op references only earlier nodes.
+    pub fn is_well_formed(&self) -> bool {
+        self.inputs > 0
+            && self.ops.iter().enumerate().all(|(k, op)| {
+                let limit = self.inputs + k;
+                let (a, b) = op.operands();
+                a < limit && b.is_none_or(|b| b < limit)
+            })
+    }
+
+    /// Serializes the program as a replayable JSON trace (schema
+    /// [`ORACLE_SCHEMA`]), with an optional free-text `note` describing the
+    /// divergence that produced it.
+    pub fn to_json(&self, note: Option<&str>) -> String {
+        let ops: Vec<String> = self.ops.iter().map(op_to_json).collect();
+        let mut obj = Obj::new()
+            .str("schema", ORACLE_SCHEMA)
+            .u64("seed", self.seed)
+            .u64("word_bits", u64::from(self.word_bits))
+            .u64("inputs", self.inputs as u64)
+            .arr("ops", ops);
+        if let Some(n) = note {
+            obj = obj.str("note", n);
+        }
+        obj.build()
+    }
+
+    /// Parses a JSON trace back into a program.
+    ///
+    /// # Errors
+    /// [`TraceError::Json`] for malformed JSON; [`TraceError::Schema`] for
+    /// wrong schema tags, unknown ops, or out-of-range node references.
+    pub fn from_json(text: &str) -> Result<Program, TraceError> {
+        let v = Json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| TraceError::Schema("missing schema tag".into()))?;
+        if schema != ORACLE_SCHEMA {
+            return Err(TraceError::Schema(format!(
+                "schema {schema:?}, expected {ORACLE_SCHEMA:?}"
+            )));
+        }
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| TraceError::Schema(format!("missing or non-integer field {k:?}")))
+        };
+        let seed = field("seed")?;
+        let word_bits = u32::try_from(field("word_bits")?)
+            .map_err(|_| TraceError::Schema("word_bits out of range".into()))?;
+        let inputs = field("inputs")? as usize;
+        let ops_json = v
+            .get("ops")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| TraceError::Schema("missing ops array".into()))?;
+        let ops = ops_json
+            .iter()
+            .map(op_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let p = Program {
+            seed,
+            word_bits,
+            inputs,
+            ops,
+        };
+        if !p.is_well_formed() {
+            return Err(TraceError::Schema(
+                "op references a node at or after its own position".into(),
+            ));
+        }
+        Ok(p)
+    }
+}
+
+fn op_to_json(op: &Op) -> String {
+    let o = Obj::new().str("op", op.kind().name());
+    match *op {
+        Op::Add { a, b } | Op::Sub { a, b } | Op::Mul { a, b } => {
+            o.u64("a", a as u64).u64("b", b as u64)
+        }
+        Op::Negate { a } | Op::Conjugate { a } | Op::Square { a } | Op::Rescale { a } => {
+            o.u64("a", a as u64)
+        }
+        Op::AddPlain { a, pseed } | Op::SubPlain { a, pseed } | Op::MulPlain { a, pseed } => {
+            o.u64("a", a as u64).u64("pseed", pseed)
+        }
+        Op::Rotate { a, steps } => o.u64("a", a as u64).raw("steps", steps.to_string()),
+        Op::Adjust { a, target } => o.u64("a", a as u64).u64("target", target as u64),
+    }
+    .build()
+}
+
+fn op_from_json(v: &Json) -> Result<Op, TraceError> {
+    let name = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| TraceError::Schema("op entry missing op name".into()))?;
+    let kind = OpKind::from_name(name)
+        .ok_or_else(|| TraceError::Schema(format!("unknown op name {name:?}")))?;
+    let idx = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .map(|u| u as usize)
+            .ok_or_else(|| TraceError::Schema(format!("op {name:?} missing field {k:?}")))
+    };
+    let seed = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| TraceError::Schema(format!("op {name:?} missing field {k:?}")))
+    };
+    Ok(match kind {
+        OpKind::Add => Op::Add {
+            a: idx("a")?,
+            b: idx("b")?,
+        },
+        OpKind::Sub => Op::Sub {
+            a: idx("a")?,
+            b: idx("b")?,
+        },
+        OpKind::Negate => Op::Negate { a: idx("a")? },
+        OpKind::AddPlain => Op::AddPlain {
+            a: idx("a")?,
+            pseed: seed("pseed")?,
+        },
+        OpKind::SubPlain => Op::SubPlain {
+            a: idx("a")?,
+            pseed: seed("pseed")?,
+        },
+        OpKind::MulPlain => Op::MulPlain {
+            a: idx("a")?,
+            pseed: seed("pseed")?,
+        },
+        OpKind::Mul => Op::Mul {
+            a: idx("a")?,
+            b: idx("b")?,
+        },
+        OpKind::Square => Op::Square { a: idx("a")? },
+        OpKind::Rotate => {
+            let steps = v
+                .get("steps")
+                .and_then(Json::as_f64)
+                .filter(|s| s.fract() == 0.0)
+                .map(|s| s as i64)
+                .ok_or_else(|| TraceError::Schema("rotate missing integer steps".into()))?;
+            Op::Rotate {
+                a: idx("a")?,
+                steps,
+            }
+        }
+        OpKind::Conjugate => Op::Conjugate { a: idx("a")? },
+        OpKind::Rescale => Op::Rescale { a: idx("a")? },
+        OpKind::Adjust => Op::Adjust {
+            a: idx("a")?,
+            target: idx("target")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program {
+            seed: 42,
+            word_bits: 28,
+            inputs: 2,
+            ops: vec![
+                Op::Mul { a: 0, b: 1 },
+                Op::Rescale { a: 2 },
+                Op::Adjust { a: 0, target: 2 },
+                Op::Rotate { a: 3, steps: 2 },
+                Op::AddPlain { a: 3, pseed: 777 },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let p = sample();
+        let text = p.to_json(Some("cross-backend mismatch at node 4"));
+        let back = Program::from_json(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_forward_references() {
+        let p = sample();
+        let text = p.to_json(None).replace(ORACLE_SCHEMA, "other/v9");
+        assert!(matches!(
+            Program::from_json(&text),
+            Err(TraceError::Schema(_))
+        ));
+        // Forward reference: op 0 reads node 5 with only 2 inputs.
+        let bad = r#"{"schema":"bitpacker-oracle-trace/v1","seed":1,"word_bits":28,"inputs":2,"ops":[{"op":"negate","a":5}]}"#;
+        assert!(matches!(
+            Program::from_json(bad),
+            Err(TraceError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn op_vocabulary_matches_telemetry() {
+        for op in sample().ops {
+            let name = op.kind().name();
+            assert!(OpKind::from_name(name).is_some(), "{name} not in OpKind");
+        }
+    }
+}

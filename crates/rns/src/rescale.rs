@@ -20,8 +20,14 @@ use std::sync::Arc;
 /// RNS-CKKS rescale by the last residue modulus (paper Listing 1):
 /// `xᵢ ← (xᵢ − x_{R−1}) · q_{R−1}⁻¹ mod qᵢ`, then drop residue `R−1`.
 ///
-/// The result equals `⌊x / q_{R−1}⌋` up to the standard sub-unit rounding
-/// term. Valid in either domain (the correction residue is brought to
+/// The subtracted correction is the *centered* representative of
+/// `x mod q_{R−1}` (values above `q/2` are treated as negative), so the
+/// result is `x / q_{R−1}` rounded to nearest: error in `(-½, ½]` per
+/// coefficient, zero mean. The unsigned representative would floor
+/// instead — error in `(-1, 0]` with a `-½` bias that accumulates across
+/// the two polynomials and every rescale of a computation (surfaced by
+/// the `bp-oracle` differential fuzzer as a systematic BitPacker-vs-RNS
+/// drift). Valid in either domain (the correction residue is brought to
 /// coefficient form internally).
 ///
 /// # Errors
@@ -67,12 +73,18 @@ pub fn rns_rescale_once(poly: &mut RnsPoly) -> Result<(), RnsError> {
             let inv_q = m.inv(q_last % m.value()).expect("moduli coprime");
             let inv_q_s = m.shoup(inv_q);
 
-            // Reduce the shed residue into this modulus (coefficient
-            // domain), then match the main domain. Scratch-backed: the
-            // correction buffer is recycled per residue.
+            // Reduce the *centered* representative of the shed residue
+            // into this modulus (coefficient domain), then match the main
+            // domain. Scratch-backed: the correction buffer is recycled
+            // per residue.
+            let q_mod_m = m.reduce(q_last);
+            let half = q_last >> 1;
             let mut corr = scratch::take_copy(lc.coeffs());
             for x in corr.iter_mut() {
-                *x = m.reduce(*x);
+                let c = *x;
+                let r = m.reduce(c);
+                // c > q/2 represents the negative value c - q_last.
+                *x = if c > half { m.sub(r, q_mod_m) } else { r };
             }
             if domain == Domain::Ntt {
                 table.forward(&mut corr);
@@ -264,6 +276,29 @@ mod tests {
             diff <= BigUint::one(),
             "rescale off by more than 1: got {got}, expect {expect}"
         );
+    }
+
+    #[test]
+    fn rns_rescale_rounds_to_nearest() {
+        let pool = PrimePool::new(1 << 3);
+        let qs = pool.first_primes_below(30, 3);
+        let q_last = qs[2];
+        // Remainder just below q_last: the centered representative is
+        // negative, so the quotient must round *up* to floor + 1 (the old
+        // unsigned correction floored here — off by a whole unit with a
+        // systematic negative bias).
+        let x_up = BigUint::from(q_last)
+            .mul_u64(777)
+            .add(&BigUint::from(q_last - 1));
+        let mut p = poly_from_big(&pool, &qs, &x_up);
+        rns_rescale_once(&mut p).unwrap();
+        assert_eq!(read_big(&p, 0), BigUint::from(778u64));
+
+        // Small remainder rounds down to the floor.
+        let x_down = BigUint::from(q_last).mul_u64(777).add(&BigUint::from(3u64));
+        let mut p = poly_from_big(&pool, &qs, &x_down);
+        rns_rescale_once(&mut p).unwrap();
+        assert_eq!(read_big(&p, 0), BigUint::from(777u64));
     }
 
     #[test]

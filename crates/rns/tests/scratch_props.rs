@@ -1,0 +1,87 @@
+//! Property tests for the recycled-scratch pool (`bp_rns::scratch`).
+//!
+//! The pool buckets retired buffers by *exact length*, so a buffer
+//! recycled from one residue count must never leak its length — or its
+//! stale contents — into a request for a different count. These tests
+//! interleave takes and recycles across deliberately mismatched sizes
+//! (including re-recycling buffers the caller resized, the way kernel
+//! code might after `truncate`) and assert the two invariants every
+//! caller relies on:
+//!
+//! * `take_zeroed(n)` is exactly `n` zeros, always;
+//! * `take_copy(src)` equals `src` exactly, always.
+
+use bp_rns::scratch;
+use proptest::prelude::*;
+
+/// Residue counts the interleaving alternates between — includes 0 (the
+/// pool must refuse to pool empties) and non-power-of-two sizes.
+const SIZES: [usize; 6] = [0, 1, 8, 16, 100, 256];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mismatched_sizes_never_leak_length_or_data(
+        steps in proptest::collection::vec(any::<u64>(), 1..120)
+    ) {
+        for step in steps {
+            // Decode (action, size selector, fill pattern) from one word.
+            let what = step & 3;
+            let n = SIZES[(step >> 2) as usize % SIZES.len()];
+            let other = SIZES[(step >> 5) as usize % SIZES.len()];
+            let fill = (step >> 8) | 0xDEAD_0000;
+            match what {
+                // Recycle a dirty buffer of this size.
+                0 => scratch::recycle(vec![fill; n]),
+                // take_zeroed must be all zeros at exactly n — even right
+                // after dirty recycles at this and other sizes.
+                1 => {
+                    scratch::recycle(vec![fill; other]);
+                    let mut v = scratch::take_zeroed(n);
+                    prop_assert_eq!(v.len(), n);
+                    prop_assert!(v.iter().all(|&x| x == 0), "stale data in take_zeroed({})", n);
+                    // Hand it back resized: the pool must re-bucket it
+                    // under the *new* length, not the one it was born at.
+                    v.truncate(n / 2);
+                    v.iter_mut().for_each(|x| *x = fill);
+                    scratch::recycle(v);
+                }
+                // take_copy must equal the source at exactly src.len().
+                2 => {
+                    let src: Vec<u64> =
+                        (0..n as u64).map(|i| i.wrapping_mul(0x9E37) ^ fill).collect();
+                    let v = scratch::take_copy(&src);
+                    prop_assert_eq!(&v, &src);
+                    scratch::recycle(v);
+                }
+                // with_scratch sees a zeroed buffer of the right length
+                // even right after a dirty recycle of another size.
+                _ => {
+                    scratch::recycle(vec![u64::MAX; other]);
+                    scratch::with_scratch(n, |buf| {
+                        assert_eq!(buf.len(), n);
+                        assert!(buf.iter().all(|&x| x == 0), "stale data in with_scratch({n})");
+                        buf.fill(fill);
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic worst case: a buffer recycled after being truncated has
+/// capacity for its old size but length of the new one — the classic
+/// stale-length hazard if bucketing were by capacity instead of length.
+#[test]
+fn recycled_truncated_buffer_never_serves_its_old_size() {
+    let mut big = vec![0xABCDu64; 256];
+    big.truncate(16); // capacity 256, length 16
+    scratch::recycle(big);
+    let v = scratch::take_zeroed(256);
+    assert_eq!(v.len(), 256);
+    assert!(v.iter().all(|&x| x == 0));
+    let v16 = scratch::take_zeroed(16);
+    assert_eq!(v16.len(), 16);
+    assert!(v16.iter().all(|&x| x == 0), "stale 0xABCD leaked through");
+}
