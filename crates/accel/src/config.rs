@@ -20,6 +20,20 @@ pub enum FuKind {
     KshGen,
 }
 
+impl FuKind {
+    /// Stable snake_case name used in reports and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuKind::Mul => "mul",
+            FuKind::Add => "add",
+            FuKind::Ntt => "ntt",
+            FuKind::Automorphism => "automorphism",
+            FuKind::Crb => "crb",
+            FuKind::KshGen => "kshgen",
+        }
+    }
+}
+
 /// All FU kinds, for iteration.
 pub const FU_KINDS: [FuKind; 6] = [
     FuKind::Mul,

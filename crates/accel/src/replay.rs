@@ -141,6 +141,7 @@ mod tests {
                 noise_bits: 10.0,
                 clear_bits: 20.0,
                 scale_log2: 40.0,
+                log_q: 84.0,
             },
         }
     }

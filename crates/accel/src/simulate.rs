@@ -50,6 +50,18 @@ impl SimReport {
     pub fn edp(&self) -> f64 {
         self.energy.total_mj() * self.ms
     }
+
+    /// Per-FU occupancy: busy cycles over total cycles, in
+    /// [`crate::config::FU_KINDS`] order (zeros for an empty run).
+    pub fn fu_occupancy(&self) -> [f64; 6] {
+        let mut occ = [0.0; 6];
+        if self.cycles > 0.0 {
+            for (o, &busy) in occ.iter_mut().zip(&self.fu_cycles) {
+                *o = busy / self.cycles;
+            }
+        }
+        occ
+    }
 }
 
 /// Spill multiplier on DRAM traffic when the working set exceeds the
@@ -131,10 +143,29 @@ pub fn simulate(
     let fault_free = simulate_core(trace, cfg, ctx, working_set_mb, |_, _, _| {
         Ok::<(), std::convert::Infallible>(())
     });
-    match fault_free {
+    let report = match fault_free {
         Ok(report) => report,
         Err(never) => match never {},
+    };
+    record_occupancy(&report);
+    report
+}
+
+/// Surfaces per-FU utilization through the telemetry exposition path:
+/// cumulative busy/total cycle counters plus the occupancy of the most
+/// recent run (live only when `bp-telemetry` is compiled with its
+/// `enabled` feature and the runtime gate is on).
+fn record_occupancy(report: &SimReport) {
+    if !bp_telemetry::enabled() {
+        return;
     }
+    let occupancy = report.fu_occupancy();
+    for (i, fu) in crate::config::FU_KINDS.iter().enumerate() {
+        let labels = [("fu", fu.name())];
+        bp_telemetry::export::gauge_add("accel_fu_busy_cycles", &labels, report.fu_cycles[i]);
+        bp_telemetry::export::gauge_set("accel_fu_occupancy", &labels, occupancy[i]);
+    }
+    bp_telemetry::export::gauge_add("accel_cycles_total", &[], report.cycles);
 }
 
 #[cfg(test)]

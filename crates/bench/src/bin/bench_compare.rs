@@ -1,0 +1,231 @@
+//! CI perf-regression gate: diffs two `bitpacker-cpu-bench/v2`
+//! documents and fails (exit 1) when any matched `(op, n, threads)`
+//! series regressed beyond its noise threshold.
+//!
+//! ```text
+//! bench_compare <baseline.json> <candidate.json>
+//!     [--threshold <frac>]       # default regression threshold (0.30)
+//!     [--threshold-op op=frac]   # per-op override, repeatable
+//!     [--abs-floor-us <us>]      # ignore deltas below this (default 150)
+//! ```
+//!
+//! A series regresses when the candidate median is slower than the
+//! baseline by more than `threshold` *and* by more than the absolute
+//! floor — the floor keeps microsecond-scale ops from tripping the gate
+//! on scheduler noise. Per-op thresholds let inherently noisier kernels
+//! (e.g. `adjust`, whose medians are small) carry wider bands. Large
+//! *improvements* are reported as stale-baseline warnings but never
+//! fail the gate. A `cores` mismatch between the two headers widens
+//! every threshold 2× and warns, since cross-machine medians are only
+//! weakly comparable.
+
+use bp_telemetry::json::Json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Default fractional slowdown tolerated before a series counts as a
+/// regression.
+const DEFAULT_THRESHOLD: f64 = 0.30;
+/// Default absolute slowdown floor in microseconds.
+const DEFAULT_ABS_FLOOR_US: f64 = 150.0;
+/// Improvements beyond this fraction are flagged as a stale baseline.
+const STALE_IMPROVEMENT: f64 = 0.40;
+
+struct Series {
+    op: String,
+    n: u64,
+    threads: u64,
+    median_us: f64,
+}
+
+struct BenchDoc {
+    cores: u64,
+    series: Vec<Series>,
+}
+
+fn load(path: &str) -> Result<BenchDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: missing schema"))?;
+    if !schema.starts_with("bitpacker-cpu-bench/") {
+        return Err(format!("{path}: not a cpu-bench document ({schema})"));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing results array"))?;
+    let mut series = Vec::with_capacity(results.len());
+    for (i, r) in results.iter().enumerate() {
+        let get_u64 = |k: &str| {
+            r.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}: results[{i}].{k} missing"))
+        };
+        series.push(Series {
+            op: r
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: results[{i}].op missing"))?
+                .to_string(),
+            n: get_u64("n")?,
+            threads: get_u64("threads")?,
+            median_us: r
+                .get("median_us")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: results[{i}].median_us missing"))?,
+        });
+    }
+    Ok(BenchDoc {
+        cores: doc.get("cores").and_then(Json::as_u64).unwrap_or(0),
+        series,
+    })
+}
+
+struct Args {
+    baseline: String,
+    candidate: String,
+    threshold: f64,
+    per_op: BTreeMap<String, f64>,
+    abs_floor_us: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut per_op = BTreeMap::new();
+    let mut abs_floor_us = DEFAULT_ABS_FLOOR_US;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = argv.next().ok_or("--threshold needs a value")?;
+                threshold = v.parse().map_err(|_| format!("bad threshold: {v}"))?;
+            }
+            "--threshold-op" => {
+                let v = argv.next().ok_or("--threshold-op needs op=frac")?;
+                let (op, frac) = v.split_once('=').ok_or(format!("bad override: {v}"))?;
+                per_op.insert(
+                    op.to_string(),
+                    frac.parse().map_err(|_| format!("bad override: {v}"))?,
+                );
+            }
+            "--abs-floor-us" => {
+                let v = argv.next().ok_or("--abs-floor-us needs a value")?;
+                abs_floor_us = v.parse().map_err(|_| format!("bad floor: {v}"))?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("usage: bench_compare <baseline.json> <candidate.json> \
+                    [--threshold f] [--threshold-op op=f] [--abs-floor-us us]"
+            .to_string());
+    }
+    Ok(Args {
+        baseline: positional.remove(0),
+        candidate: positional.remove(0),
+        threshold,
+        per_op,
+        abs_floor_us,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (base, cand) = match (load(&args.baseline), load(&args.candidate)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_compare: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut machine_factor = 1.0;
+    if base.cores != cand.cores && base.cores != 0 && cand.cores != 0 {
+        eprintln!(
+            "WARNING: cores mismatch (baseline {} vs candidate {}); \
+             widening every threshold 2x",
+            base.cores, cand.cores
+        );
+        machine_factor = 2.0;
+    }
+
+    let candidates: BTreeMap<(String, u64, u64), f64> = cand
+        .series
+        .iter()
+        .map(|s| ((s.op.clone(), s.n, s.threads), s.median_us))
+        .collect();
+
+    println!(
+        "{:<20} {:>6} {:>4} {:>12} {:>12} {:>8} {:>7}  verdict",
+        "op", "n", "thr", "base us", "cand us", "ratio", "thresh"
+    );
+    let mut regressions = 0usize;
+    let mut stale = 0usize;
+    let mut matched = 0usize;
+    for s in &base.series {
+        let key = (s.op.clone(), s.n, s.threads);
+        let Some(&cand_us) = candidates.get(&key) else {
+            println!(
+                "{:<20} {:>6} {:>4} {:>12.1} {:>12} {:>8} {:>7}  MISSING",
+                s.op, s.n, s.threads, s.median_us, "-", "-", "-"
+            );
+            continue;
+        };
+        matched += 1;
+        let threshold = args.per_op.get(&s.op).copied().unwrap_or(args.threshold) * machine_factor;
+        let ratio = if s.median_us > 0.0 {
+            cand_us / s.median_us
+        } else {
+            1.0
+        };
+        let delta_us = cand_us - s.median_us;
+        let verdict = if ratio > 1.0 + threshold && delta_us > args.abs_floor_us {
+            regressions += 1;
+            "REGRESSION"
+        } else if ratio < 1.0 - STALE_IMPROVEMENT && -delta_us > args.abs_floor_us {
+            stale += 1;
+            "improved (stale baseline?)"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<20} {:>6} {:>4} {:>12.1} {:>12.1} {:>8.3} {:>6.0}%  {verdict}",
+            s.op,
+            s.n,
+            s.threads,
+            s.median_us,
+            cand_us,
+            ratio,
+            threshold * 100.0,
+        );
+    }
+    if matched == 0 {
+        eprintln!("bench_compare: no overlapping (op, n, threads) series");
+        return ExitCode::from(2);
+    }
+    if stale > 0 {
+        eprintln!(
+            "note: {stale} series improved >{:.0}% — consider regenerating the baseline",
+            STALE_IMPROVEMENT * 100.0
+        );
+    }
+    if regressions > 0 {
+        eprintln!("bench_compare: {regressions} regression(s) beyond threshold");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_compare: {matched} series compared, no regressions");
+    ExitCode::SUCCESS
+}

@@ -14,13 +14,17 @@
 //! default is the paper-scale N=8192 mul+relin+rescale pipeline.
 //! `--repairs` adds a per-op column counting ops performed by the
 //! auto-align repair loop (rather than requested by the circuit) and
-//! prints the drained repair/degrade/breaker event stream. An optional
-//! trailing argument overrides the output path.
+//! prints the drained repair/degrade/breaker event stream.
+//! `--folded <path>` writes the hierarchical profiler's flamegraph-
+//! compatible folded-stack output. An optional trailing argument
+//! overrides the trace output path. When `BITPACKER_METRICS` is set the
+//! Prometheus exposition (and the JSONL event tail) is flushed there on
+//! exit.
 
 use bp_accel::AcceleratorConfig;
 use bp_bench::RunMeta;
 use bp_ckks::telemetry::trace::{self, EvalTrace, OpKind, TRACE_SCHEMA};
-use bp_ckks::telemetry::{self, counters, events, spans};
+use bp_ckks::telemetry::{self, counters, efficiency, events, export, profile, spans};
 use bp_ckks::{CkksContext, CkksParams, Representation, SecurityLevel};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
@@ -53,12 +57,14 @@ struct OpSummary {
     total_ns: u64,
     noise_consumed: f64,
     repairs: u64,
+    eff_sum: f64,
 }
 
 /// Aggregates the trace per op kind. "Noise consumed" is the growth in
 /// the result's noise magnitude attributed to each op, i.e. the
 /// noise-bits delta against the previous entry in program order (the
-/// first entry is charged its full noise).
+/// first entry is charged its full noise). `eff_sum` accumulates per-op
+/// packing efficiency `log2 Q / (R·w)` for the mean-efficiency column.
 fn summarize(tr: &EvalTrace) -> Vec<OpSummary> {
     let mut out: Vec<OpSummary> = Vec::new();
     let mut prev_noise = 0.0f64;
@@ -66,12 +72,19 @@ fn summarize(tr: &EvalTrace) -> Vec<OpSummary> {
         let consumed = (e.op.noise_bits - prev_noise).max(0.0);
         prev_noise = e.op.noise_bits;
         let repair = u64::from(e.op.repair);
+        let capacity = e.op.residues as f64 * f64::from(tr.meta.word_bits);
+        let eff = if capacity > 0.0 {
+            (e.op.log_q / capacity).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         match out.iter_mut().find(|s| s.kind == e.op.kind) {
             Some(s) => {
                 s.count += 1;
                 s.total_ns += e.op.duration_ns;
                 s.noise_consumed += consumed;
                 s.repairs += repair;
+                s.eff_sum += eff;
             }
             None => out.push(OpSummary {
                 kind: e.op.kind,
@@ -79,6 +92,7 @@ fn summarize(tr: &EvalTrace) -> Vec<OpSummary> {
                 total_ns: e.op.duration_ns,
                 noise_consumed: consumed,
                 repairs: repair,
+                eff_sum: eff,
             }),
         }
     }
@@ -87,14 +101,30 @@ fn summarize(tr: &EvalTrace) -> Vec<OpSummary> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let small = args.iter().any(|a| a == "--small");
-    let show_repairs = args.iter().any(|a| a == "--repairs");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| format!("TRACE_{WORKLOAD}.json"));
+    let mut small = false;
+    let mut show_repairs = false;
+    let mut folded_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--small" => small = true,
+            "--repairs" => show_repairs = true,
+            "--folded" => match argv.next() {
+                Some(p) => folded_path = Some(p),
+                None => {
+                    eprintln!("error: --folded needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => out_path = Some(other.to_string()),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| format!("TRACE_{WORKLOAD}.json"));
 
     telemetry::set_enabled(true);
     if !telemetry::enabled() {
@@ -123,6 +153,10 @@ fn main() {
     run_pipeline(&ctx).expect("pipeline");
     let wall_ns = wall.elapsed().as_nanos() as u64;
     let tr = trace::take();
+    // Snapshots, not `take()`: the Prometheus flush at the end renders
+    // the efficiency store, so it must stay populated.
+    let eff_report = efficiency::snapshot();
+    let tree = profile::snapshot();
     if tr.entries.is_empty() {
         eprintln!("error: pipeline recorded no trace entries");
         std::process::exit(2);
@@ -135,21 +169,27 @@ fn main() {
     );
     println!();
     print!(
-        "{:<10} {:>6} {:>12} {:>10} {:>8} {:>14}",
-        "op", "count", "total ms", "mean us", "% wall", "noise (bits)"
+        "{:<10} {:>6} {:>12} {:>10} {:>10} {:>8} {:>6} {:>14}",
+        "op", "count", "total ms", "excl ms", "mean us", "% wall", "eff", "noise (bits)"
     );
     if show_repairs {
         print!(" {:>8}", "repairs");
     }
     println!();
     for s in summarize(&tr) {
+        // Evaluator ops frame at the top of the span tree, so the op name
+        // is its own profile path; exclusive time is the op's cost net of
+        // the kernels (NTT, base conversion, ...) it called into.
+        let excl_ns = tree.get(s.kind.name()).map_or(0, |p| p.exclusive_ns);
         print!(
-            "{:<10} {:>6} {:>12.3} {:>10.1} {:>7.1}% {:>14.1}",
+            "{:<10} {:>6} {:>12.3} {:>10.3} {:>10.1} {:>7.1}% {:>5.1}% {:>14.1}",
             s.kind.name(),
             s.count,
             s.total_ns as f64 / 1e6,
+            excl_ns as f64 / 1e6,
             s.total_ns as f64 / 1e3 / s.count as f64,
             s.total_ns as f64 / wall_ns as f64 * 100.0,
+            s.eff_sum / s.count as f64 * 100.0,
             s.noise_consumed,
         );
         if show_repairs {
@@ -201,6 +241,19 @@ fn main() {
         }
     }
 
+    println!();
+    println!("packing efficiency:");
+    println!("{}", eff_report.render_table());
+
+    println!();
+    println!("cost attribution (span tree):");
+    println!("{}", tree.render_table());
+
+    if let Some(path) = &folded_path {
+        std::fs::write(path, tree.folded()).expect("write folded profile");
+        println!("[profile] wrote folded stacks to {path}");
+    }
+
     // Emit the trace with the stable run-metadata header, then prove the
     // document round-trips before reporting success.
     let json = tr.write_into(RunMeta::collect(TRACE_SCHEMA).header());
@@ -218,4 +271,21 @@ fn main() {
         report.ms,
         report.energy.total_mj()
     );
+    let occ = report.fu_occupancy();
+    print!("[replay] FU occupancy:");
+    for (fu, o) in bp_accel::FU_KINDS.iter().zip(occ) {
+        print!(" {} {:.0}%", fu.name(), o * 100.0);
+    }
+    println!();
+
+    // Flush the Prometheus exposition (and JSONL event tail) when
+    // BITPACKER_METRICS points somewhere.
+    match export::flush_to_env() {
+        Ok(Some(dest)) => println!("[metrics] exposition flushed to {dest}"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: metrics flush failed: {e}");
+            std::process::exit(2);
+        }
+    }
 }

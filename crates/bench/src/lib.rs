@@ -28,12 +28,34 @@ pub struct RunMeta {
     pub git_commit: String,
     /// Available hardware parallelism on the emitting machine.
     pub cores: usize,
-    /// Value of `BITPACKER_THREADS` at emission time, or `unset`.
+    /// The worker count the global `BpThreadPool` actually resolved to
+    /// (decimal string) — the effective value after `BITPACKER_THREADS`
+    /// and core-count defaulting, not the raw env var.
     pub bitpacker_threads: String,
-    /// Harness-supplied timestamp (`BP_BENCH_TIMESTAMP`), or `unset` —
-    /// passed in rather than read from the clock so reruns with the same
-    /// inputs emit byte-identical headers.
+    /// RFC 3339 UTC emission time. `BP_BENCH_TIMESTAMP` overrides the
+    /// clock so reruns with the same inputs can emit byte-identical
+    /// headers.
     pub timestamp: String,
+}
+
+/// Formats seconds since the Unix epoch as an RFC 3339 UTC timestamp
+/// (`YYYY-MM-DDTHH:MM:SSZ`). Civil-date conversion is done inline (no
+/// date-time dependency in the workspace).
+pub fn rfc3339_utc(secs_since_epoch: u64) -> String {
+    let days = (secs_since_epoch / 86_400) as i64;
+    let rem = secs_since_epoch % 86_400;
+    let (hh, mm, ss) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02}T{hh:02}:{mm:02}:{ss:02}Z")
 }
 
 impl RunMeta {
@@ -54,9 +76,14 @@ impl RunMeta {
             cores: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
-            bitpacker_threads: std::env::var("BITPACKER_THREADS")
-                .unwrap_or_else(|_| "unset".to_string()),
-            timestamp: std::env::var("BP_BENCH_TIMESTAMP").unwrap_or_else(|_| "unset".to_string()),
+            bitpacker_threads: bp_ckks::BpThreadPool::global().workers().to_string(),
+            timestamp: std::env::var("BP_BENCH_TIMESTAMP").unwrap_or_else(|_| {
+                let secs = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0);
+                rfc3339_utc(secs)
+            }),
         }
     }
 
@@ -207,14 +234,34 @@ mod tests {
         let commit = doc.get("git_commit").and_then(Json::as_str).expect("str");
         assert!(!commit.is_empty());
         assert!(doc.get("cores").and_then(Json::as_u64).expect("u64") >= 1);
-        // Env-derived fields are always present, defaulting to "unset".
-        assert!(doc
+        // The thread count is the pool's resolved worker count — an
+        // actual number, never the literal "unset".
+        let threads = doc
             .get("bitpacker_threads")
             .and_then(Json::as_str)
-            .is_some());
-        assert!(doc.get("timestamp").and_then(Json::as_str).is_some());
+            .expect("str");
+        assert!(threads.parse::<usize>().expect("numeric thread count") >= 1);
+        // The timestamp is RFC 3339 UTC (or the BP_BENCH_TIMESTAMP
+        // override) — never the literal "unset".
+        let ts = doc.get("timestamp").and_then(Json::as_str).expect("str");
+        assert_ne!(ts, "unset");
+        if std::env::var("BP_BENCH_TIMESTAMP").is_err() {
+            assert_eq!(ts.len(), 20, "RFC 3339 shape: {ts}");
+            assert_eq!(&ts[4..5], "-");
+            assert_eq!(&ts[10..11], "T");
+            assert!(ts.ends_with('Z'));
+        }
         // Header fields come first so documents stay mechanically diffable.
         let text = meta.header().u64("payload", 1).build();
         assert!(text.starts_with("{\"schema\":"));
+    }
+
+    #[test]
+    fn rfc3339_utc_converts_known_instants() {
+        assert_eq!(rfc3339_utc(0), "1970-01-01T00:00:00Z");
+        // 2026-08-07 12:34:56 UTC.
+        assert_eq!(rfc3339_utc(1_786_106_096), "2026-08-07T12:34:56Z");
+        // Leap-day handling.
+        assert_eq!(rfc3339_utc(1_709_164_800), "2024-02-29T00:00:00Z");
     }
 }

@@ -186,6 +186,16 @@ impl<'a> Evaluator<'a> {
         }
         let batched = matches!(kind, OpKind::Rescale | OpKind::Adjust)
             && self.chain().representation() == Representation::BitPacker;
+        // Bit-utilization accounting: the modulus bits the result
+        // actually carries vs the datapath bits its residues occupy —
+        // the paper's packing efficiency, sampled at every op.
+        let log_q = ct.c0().info_bits();
+        bp_telemetry::efficiency::record(bp_telemetry::efficiency::PackingSample {
+            level: ct.level(),
+            residues: ct.num_residues(),
+            word_bits: self.chain().word_bits(),
+            info_bits: log_q,
+        });
         trace::record_op(OpRecord {
             kind,
             level: ct.level(),
@@ -198,6 +208,7 @@ impl<'a> Evaluator<'a> {
             noise_bits: ct.noise().noise_bits,
             clear_bits: ct.noise().clear_bits(),
             scale_log2: ct.scale().log2(),
+            log_q,
         });
     }
 
@@ -225,6 +236,7 @@ impl<'a> Evaluator<'a> {
             return levels::adjust_to(ct, self.chain(), self.ctx.pool(), target);
         }
         while ct.level() > target {
+            let _frame = bp_telemetry::profile::frame("adjust");
             let sw = Stopwatch::start();
             let l = ct.level();
             levels::adjust(ct, self.chain(), self.ctx.pool())?;
@@ -243,6 +255,7 @@ impl<'a> Evaluator<'a> {
     /// Auto-align repair: rescales `ct` once, recording a repair-flagged
     /// `Rescale` trace entry and an [`Event::Repair`].
     fn repair_rescale(&self, ct: &mut Ciphertext, op: OpKind) -> Result<(), EvalError> {
+        let _frame = bp_telemetry::profile::frame("rescale");
         let sw = Stopwatch::start();
         let l = ct.level();
         levels::rescale(ct, self.chain(), self.ctx.pool())?;
@@ -392,6 +405,7 @@ impl<'a> Evaluator<'a> {
     /// or [`EvalPolicy::AutoAlign`]).
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
         self.check_cancel()?;
+        let _frame = bp_telemetry::profile::frame("add");
         let sw = Stopwatch::start();
         let (a, b) = self.align(OpKind::Add, a, b)?;
         let mut ct = Ciphertext::new(
@@ -412,6 +426,7 @@ impl<'a> Evaluator<'a> {
     /// Same alignment errors as [`Evaluator::add`].
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvalError> {
         self.check_cancel()?;
+        let _frame = bp_telemetry::profile::frame("sub");
         let sw = Stopwatch::start();
         let (a, b) = self.align(OpKind::Sub, a, b)?;
         let mut ct = Ciphertext::new(
@@ -434,6 +449,7 @@ impl<'a> Evaluator<'a> {
     /// encoded for the ciphertext's level and scale.
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
         self.check_cancel()?;
+        let _frame = bp_telemetry::profile::frame("add_plain");
         let sw = Stopwatch::start();
         let a = self.align_to_plain(OpKind::AddPlain, a, pt)?;
         if a.scale != pt.scale {
@@ -464,6 +480,7 @@ impl<'a> Evaluator<'a> {
     /// [`EvalError::PlaintextLevelMismatch`] when the levels differ.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
         self.check_cancel()?;
+        let _frame = bp_telemetry::profile::frame("mul_plain");
         let sw = Stopwatch::start();
         let a = self.align_to_plain(OpKind::MulPlain, a, pt)?;
         let mut p = pt.poly.clone();
@@ -494,6 +511,7 @@ impl<'a> Evaluator<'a> {
         ek: &EvaluationKey,
     ) -> Result<Ciphertext, EvalError> {
         self.check_cancel()?;
+        let _frame = bp_telemetry::profile::frame("mul");
         let sw = Stopwatch::start();
         let (a, b) = self.align_levels(OpKind::Mul, a, b)?;
         let d0 = a.c0.mul(&b.c0)?;
@@ -524,6 +542,7 @@ impl<'a> Evaluator<'a> {
     /// Propagates keyswitching failures.
     pub fn square(&self, a: &Ciphertext, ek: &EvaluationKey) -> Result<Ciphertext, EvalError> {
         self.check_cancel()?;
+        let _frame = bp_telemetry::profile::frame("square");
         let sw = Stopwatch::start();
         let d0 = a.c0.mul(&a.c0)?;
         let mut d1 = a.c0.mul(&a.c1)?;
@@ -559,6 +578,7 @@ impl<'a> Evaluator<'a> {
         ek: &EvaluationKey,
     ) -> Result<Ciphertext, EvalError> {
         self.check_cancel()?;
+        let _frame = bp_telemetry::profile::frame("rotate");
         let sw = Stopwatch::start();
         let n = self.ctx.params().n();
         let order = (n / 2) as i64;
@@ -599,6 +619,7 @@ impl<'a> Evaluator<'a> {
     /// the evaluation API.
     pub fn negate(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
         self.check_cancel()?;
+        let _frame = bp_telemetry::profile::frame("negate");
         let sw = Stopwatch::start();
         let ct = Ciphertext::new(a.c0.neg(), a.c1.neg(), a.level, a.scale.clone(), a.noise);
         self.observe(OpKind::Negate, sw, &ct);
@@ -611,6 +632,7 @@ impl<'a> Evaluator<'a> {
     /// Same alignment errors as [`Evaluator::add_plain`].
     pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, EvalError> {
         self.check_cancel()?;
+        let _frame = bp_telemetry::profile::frame("sub_plain");
         let sw = Stopwatch::start();
         let a = self.align_to_plain(OpKind::SubPlain, a, pt)?;
         if a.scale != pt.scale {
@@ -641,6 +663,7 @@ impl<'a> Evaluator<'a> {
     /// [`EvalError::MissingConjugationKey`] if `ek` has no conjugation key.
     pub fn conjugate(&self, a: &Ciphertext, ek: &EvaluationKey) -> Result<Ciphertext, EvalError> {
         self.check_cancel()?;
+        let _frame = bp_telemetry::profile::frame("conjugate");
         let sw = Stopwatch::start();
         let n = self.ctx.params().n();
         let t = 2 * n - 1;
@@ -678,6 +701,7 @@ impl<'a> Evaluator<'a> {
     /// [`EvalError::LevelExhausted`] at level 0.
     pub fn rescale(&self, a: &Ciphertext) -> Result<Ciphertext, EvalError> {
         self.check_cancel()?;
+        let _frame = bp_telemetry::profile::frame("rescale");
         // Fault-injection hook: an armed rescale fault surfaces as a
         // transient corruption of the operand's residue data.
         #[cfg(feature = "fault-injection")]
@@ -710,6 +734,7 @@ impl<'a> Evaluator<'a> {
     /// level.
     pub fn adjust_to(&self, a: &Ciphertext, target_level: usize) -> Result<Ciphertext, EvalError> {
         self.check_cancel()?;
+        let _frame = bp_telemetry::profile::frame("adjust");
         let mut ct = a.clone();
         if !bp_telemetry::enabled() || target_level > ct.level() {
             levels::adjust_to(&mut ct, self.chain(), self.ctx.pool(), target_level)?;

@@ -92,6 +92,14 @@ impl ResiduePoly {
         self.table.modulus().value()
     }
 
+    /// `log2` of this residue's modulus — the scale-capacity bits it
+    /// contributes to `log2 Q` (the numerator of the paper's packing
+    /// efficiency `log Q / (R·w)`).
+    #[inline]
+    pub fn modulus_bits(&self) -> f64 {
+        (self.modulus() as f64).log2()
+    }
+
     /// The coefficient (or slot) values.
     #[inline]
     pub fn coeffs(&self) -> &[u64] {
@@ -196,6 +204,30 @@ impl RnsPoly {
     #[inline]
     pub fn moduli(&self) -> &[u64] {
         &self.moduli
+    }
+
+    /// `log2 Q` over this polynomial's basis: the modulus (scale-
+    /// capacity) bits actually in use across its residues.
+    pub fn info_bits(&self) -> f64 {
+        self.moduli.iter().map(|&q| (q as f64).log2()).sum()
+    }
+
+    /// Datapath bits the basis occupies at a `word_bits`-bit residue
+    /// word width: `R·w`, the denominator of the paper's packing
+    /// efficiency.
+    pub fn capacity_bits(&self, word_bits: u32) -> f64 {
+        self.num_residues() as f64 * f64::from(word_bits)
+    }
+
+    /// Packing efficiency `log2 Q / (R·w)` of this polynomial at the
+    /// given residue word width (paper Fig. 1; 0 for an empty basis).
+    pub fn packing_efficiency(&self, word_bits: u32) -> f64 {
+        let cap = self.capacity_bits(word_bits);
+        if cap > 0.0 {
+            (self.info_bits() / cap).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
     }
 
     /// Access residue `i`.

@@ -144,11 +144,14 @@ mod store {
 }
 
 /// Appends an event to the stream (feature off: no-op). Beyond
-/// [`EVENT_CAP`] pending events, new events are counted as dropped.
+/// [`EVENT_CAP`] pending events, new events are counted as dropped. The
+/// event is also tee'd into the [`crate::export`] JSONL ring buffer,
+/// which retains the newest [`crate::export::JSONL_RING_CAP`] events.
 #[cfg(feature = "enabled")]
 #[inline]
 pub fn emit(ev: Event) {
     if crate::enabled() {
+        crate::export::record_event(&ev);
         store::emit(ev);
     }
 }

@@ -15,7 +15,18 @@
 //! * [`trace`] — the [`trace::EvalTrace`] op-trace recorder whose JSON
 //!   form replays through `bp-accel` for a predicted cycle/energy report,
 //! * [`json`] — the dependency-free JSON reader/writer used by the trace
-//!   codec and the bench metadata headers.
+//!   codec and the bench metadata headers,
+//! * [`efficiency`] — bit-utilization accounting: per-op packing
+//!   efficiency `log Q / (R·w)` folded into a per-program
+//!   [`efficiency::EfficiencyReport`] (mean/min/max, wasted-bit
+//!   histogram, per-level breakdown),
+//! * [`profile`] — a hierarchical profiler nesting RAII frames into a
+//!   span tree with inclusive/exclusive times and flamegraph-compatible
+//!   folded-stack output,
+//! * [`export`] — metrics exposition: Prometheus text-format 0.0.4
+//!   rendering of every counter/span/gauge plus a bounded JSONL
+//!   structured-event ring, flushed to the destination named by the
+//!   `BITPACKER_METRICS` environment variable.
 //!
 //! # Feature gating and overhead
 //!
@@ -39,8 +50,11 @@
 #![forbid(unsafe_code)]
 
 pub mod counters;
+pub mod efficiency;
 pub mod events;
+pub mod export;
 pub mod json;
+pub mod profile;
 pub mod spans;
 pub mod trace;
 
@@ -109,13 +123,17 @@ pub fn set_enabled(on: bool) {
 pub fn set_enabled(_on: bool) {}
 
 /// Resets every telemetry store — counters, span aggregates, the event
-/// stream, and the trace recorder — to the pristine state. Intended for
-/// test isolation and windowed reporting.
+/// stream, the trace recorder, the efficiency accumulator, the profiler
+/// tree, and the exposition gauges/ring — to the pristine state.
+/// Intended for test isolation and windowed reporting.
 pub fn reset() {
     counters::reset_all();
     spans::reset_all();
     events::reset();
     trace::reset();
+    efficiency::reset();
+    profile::reset();
+    export::reset();
 }
 
 /// A monotonic stopwatch that only pays for `Instant::now()` when

@@ -111,11 +111,15 @@ mod store {
 }
 
 /// An open RAII timing span; records into the per-kind aggregate on drop.
+/// Also holds a [`crate::profile`] frame named after the kind, so span
+/// sites nest into the hierarchical profiler's span tree automatically.
 /// Zero-sized and inert with the `enabled` feature off.
 #[derive(Debug)]
 pub struct Span {
     #[cfg(feature = "enabled")]
     live: Option<(SpanKind, std::time::Instant)>,
+    #[cfg(feature = "enabled")]
+    _frame: crate::profile::Frame,
 }
 
 /// Opens a span over hot path `kind`. The span measures from this call
@@ -131,6 +135,7 @@ pub fn span(kind: SpanKind) -> Span {
             } else {
                 None
             },
+            _frame: crate::profile::frame(kind.name()),
         }
     }
     #[cfg(not(feature = "enabled"))]

@@ -20,8 +20,10 @@ use crate::json::{Json, JsonError, Obj};
 #[cfg(feature = "enabled")]
 use crate::spans::{self, SpanKind};
 
-/// Schema identifier written into serialized traces.
-pub const TRACE_SCHEMA: &str = "bitpacker-eval-trace/v1";
+/// Schema identifier written into serialized traces. `v2` adds the
+/// per-entry `log_q` field (modulus bits in use at the result level);
+/// `v1` documents parse with `log_q = 0`.
+pub const TRACE_SCHEMA: &str = "bitpacker-eval-trace/v2";
 
 /// Maximum entries retained by the global recorder between [`take`]
 /// calls; overflow is counted in [`EvalTrace::dropped`].
@@ -127,6 +129,10 @@ pub struct OpRecord {
     pub clear_bits: f64,
     /// `log2` of the exact scale of the result.
     pub scale_log2: f64,
+    /// `log2 Q` — total modulus bits in use at the result level (the
+    /// numerator of the paper's packing efficiency `log Q / (R·w)`).
+    /// 0 for traces recorded before schema v2.
+    pub log_q: f64,
 }
 
 /// A sequenced [`OpRecord`] inside a trace.
@@ -217,6 +223,7 @@ impl EvalTrace {
                     .f64("noise_bits", e.op.noise_bits)
                     .f64("clear_bits", e.op.clear_bits)
                     .f64("scale_log2", e.op.scale_log2)
+                    .f64("log_q", e.op.log_q)
                     .build()
             })
             .collect();
@@ -295,6 +302,7 @@ impl EvalTrace {
                     noise_bits: e_f64("noise_bits")?,
                     clear_bits: e_f64("clear_bits")?,
                     scale_log2: e_f64("scale_log2")?,
+                    log_q: e.get("log_q").and_then(Json::as_f64).unwrap_or(0.0),
                 },
             });
         }
@@ -448,6 +456,7 @@ mod tests {
                         noise_bits: 7.25,
                         clear_bits: 101.5,
                         scale_log2: 80.0,
+                        log_q: 140.0,
                     },
                 },
                 TraceEntry {
@@ -464,6 +473,7 @@ mod tests {
                         noise_bits: 3.0,
                         clear_bits: 100.0,
                         scale_log2: 40.0,
+                        log_q: 112.0,
                     },
                 },
             ],
@@ -486,6 +496,16 @@ mod tests {
         let mut doc = sample_trace().to_json();
         doc = doc.replace("\"op\":\"mul\"", "\"op\":\"frobnicate\"");
         assert!(EvalTrace::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn v1_traces_without_log_q_parse_with_zero_default() {
+        let mut doc = sample_trace().to_json();
+        doc = doc.replace("bitpacker-eval-trace/v2", "bitpacker-eval-trace/v1");
+        doc = doc.replace(",\"log_q\":140", "");
+        doc = doc.replace(",\"log_q\":112", "");
+        let back = EvalTrace::from_json(&doc).expect("v1 parse");
+        assert!(back.entries.iter().all(|e| e.op.log_q == 0.0));
     }
 
     #[test]

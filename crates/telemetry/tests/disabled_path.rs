@@ -5,9 +5,11 @@
 #![cfg(not(feature = "enabled"))]
 
 use bp_telemetry::counters::{self, Counter};
+use bp_telemetry::efficiency::{self, PackingSample};
 use bp_telemetry::events::{self, Event, RepairKind};
 use bp_telemetry::spans::{self, SpanKind};
 use bp_telemetry::trace::{self, OpKind, OpRecord, TraceMeta};
+use bp_telemetry::{export, profile};
 
 #[test]
 fn all_reads_are_zero_after_recording_attempts() {
@@ -39,6 +41,23 @@ fn all_reads_are_zero_after_recording_attempts() {
         noise_bits: 1.0,
         clear_bits: 1.0,
         scale_log2: 1.0,
+        log_q: 56.0,
+    });
+    efficiency::record(PackingSample {
+        level: 1,
+        residues: 2,
+        word_bits: 28,
+        info_bits: 56.0,
+    });
+    {
+        let _f = profile::frame("disabled_path_frame");
+    }
+    export::gauge_set("some_gauge", &[("k", "v")], 1.0);
+    export::gauge_add("some_gauge", &[("k", "v")], 1.0);
+    export::record_event(&Event::Repair {
+        kind: RepairKind::Adjust,
+        op: OpKind::Mul,
+        level: 3,
     });
 
     for c in Counter::ALL {
@@ -58,6 +77,22 @@ fn all_reads_are_zero_after_recording_attempts() {
     let t = trace::take();
     assert!(t.entries.is_empty());
     assert_eq!(t.dropped, 0);
+
+    let eff = efficiency::snapshot();
+    assert_eq!(eff.samples, 0, "efficiency accounting must record nothing");
+    assert_eq!(eff.mean_efficiency(), 0.0);
+    let tree = profile::snapshot();
+    assert!(tree.paths.is_empty(), "profiler must record nothing");
+    assert_eq!(tree.dropped, 0);
+    assert!(export::drain_jsonl().is_empty(), "JSONL ring must be empty");
+    assert_eq!(export::jsonl_overwritten(), 0);
+
+    // The exposition still renders (for tooling symmetry) but every
+    // value reads zero and no registered gauge appears.
+    let prom = export::prometheus();
+    assert!(prom.contains("bitpacker_eval_ops_total 0"));
+    assert!(prom.contains("bitpacker_packing_samples_total 0"));
+    assert!(!prom.contains("some_gauge"), "gauge writes must be no-ops");
 
     let sw = bp_telemetry::Stopwatch::start();
     assert_eq!(sw.elapsed_ns(), 0, "disabled stopwatch reads zero");

@@ -22,6 +22,7 @@ fn record(kind: OpKind, ns: u64) {
         noise_bits: 5.0,
         clear_bits: 90.0,
         scale_log2: 40.0,
+        log_q: 81.0,
     });
 }
 

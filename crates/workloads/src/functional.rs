@@ -49,7 +49,8 @@ fn activation_for(app: App) -> Activation {
     }
 }
 
-/// Builds a functional context for an app proxy at reduced ring degree.
+/// Builds a functional context for an app proxy at reduced ring degree,
+/// using each representation's paper-default word size.
 ///
 /// # Panics
 /// Panics if the parameters fail to build (they are fixed and valid).
@@ -61,6 +62,22 @@ pub fn proxy_context(app: App, repr: Representation, log_n: u32, levels: usize) 
         Representation::BitPacker => 28,
         Representation::RnsCkks => 61,
     };
+    proxy_context_with_word_bits(app, repr, word_bits, log_n, levels)
+}
+
+/// [`proxy_context`] with an explicit datapath word size, for experiments
+/// that hold `w` fixed across representations (the paper's Fig. 1
+/// packing-efficiency comparison is at equal word size).
+///
+/// # Panics
+/// Panics if the parameters fail to build.
+pub fn proxy_context_with_word_bits(
+    app: App,
+    repr: Representation,
+    word_bits: u32,
+    log_n: u32,
+    levels: usize,
+) -> CkksContext {
     let params = CkksParams::builder()
         .log_n(log_n)
         .word_bits(word_bits)
@@ -83,7 +100,12 @@ pub fn run_proxy<R: Rng + ?Sized>(
     levels: usize,
     rng: &mut R,
 ) -> PrecisionReport {
-    let ctx = proxy_context(app, repr, log_n, levels);
+    run_proxy_in(&proxy_context(app, repr, log_n, levels), app, rng)
+}
+
+/// Runs the layered proxy for `app` under a caller-built context (e.g.
+/// one from [`proxy_context_with_word_bits`]).
+pub fn run_proxy_in<R: Rng + ?Sized>(ctx: &CkksContext, app: App, rng: &mut R) -> PrecisionReport {
     let mut keys = ctx.keygen(rng);
     ctx.gen_rotation_keys(&mut keys, &[1], rng);
     let ev = ctx.evaluator();
