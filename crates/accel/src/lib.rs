@@ -46,5 +46,5 @@ pub use fault::{simulate_with_faults, FaultSchedule, FuStall, SimFaultError};
 pub use compile::{compile, FheOp, OpCategory, TraceContext, Work};
 pub use config::{AcceleratorConfig, FuKind, FU_KINDS};
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use replay::{replay, ReplayError};
+pub use replay::{lower_kind, lower_program, replay, ChainProfile, LevelCost, ReplayError};
 pub use simulate::{simulate, SimReport, TraceOp};

@@ -11,6 +11,7 @@
 use crate::compile::{FheOp, TraceContext};
 use crate::config::AcceleratorConfig;
 use crate::simulate::{simulate, SimReport, TraceOp};
+use bp_ir::{Op, Program};
 use bp_telemetry::trace::{EvalTrace, OpKind, TraceEntry};
 use std::fmt;
 
@@ -31,17 +32,25 @@ impl fmt::Display for ReplayError {
 
 impl std::error::Error for ReplayError {}
 
-/// Lowers one recorded evaluator op to its accelerator-model equivalent.
+/// Lowers one op kind to its accelerator-model equivalent — the single
+/// `OpKind → FheOp` mapping; both trace replay ([`lower_entry`]) and IR
+/// lowering ([`lower_program`]) go through here.
 ///
 /// Plaintext adds and negation cost the same as a ciphertext add (one
 /// elementwise pass), so they map to [`FheOp::HAdd`]; squaring runs the
 /// full tensor-and-relinearize pipeline, so it maps to [`FheOp::HMult`].
-/// The trace records the *result* basis size; for rescale/adjust the
-/// model wants the size before shedding, which is reconstructed from the
-/// shed/added counts.
-pub fn lower_entry(e: &TraceEntry) -> FheOp {
-    let r = e.op.residues;
-    match e.op.kind {
+/// `residues` is the *result* basis size (what a trace records); for
+/// rescale/adjust the model wants the size before shedding, which is
+/// reconstructed from the shed/added counts.
+pub fn lower_kind(
+    kind: OpKind,
+    residues: usize,
+    shed: usize,
+    added: usize,
+    batched: bool,
+) -> FheOp {
+    let r = residues;
+    match kind {
         OpKind::Add | OpKind::Sub | OpKind::Negate | OpKind::AddPlain | OpKind::SubPlain => {
             FheOp::HAdd { r }
         }
@@ -49,18 +58,132 @@ pub fn lower_entry(e: &TraceEntry) -> FheOp {
         OpKind::Mul | OpKind::Square => FheOp::HMult { r },
         OpKind::Rotate | OpKind::Conjugate => FheOp::HRotate { r },
         OpKind::Rescale => FheOp::Rescale {
-            r: (r + e.op.shed).saturating_sub(e.op.added),
-            shed: e.op.shed,
-            added: e.op.added,
-            batched: e.op.batched,
+            r: (r + shed).saturating_sub(added),
+            shed,
+            added,
+            batched,
         },
         OpKind::Adjust => FheOp::Adjust {
-            r: (r + e.op.shed).saturating_sub(e.op.added),
-            shed: e.op.shed,
-            added: e.op.added,
-            batched: e.op.batched,
+            r: (r + shed).saturating_sub(added),
+            shed,
+            added,
+            batched,
         },
     }
+}
+
+/// Lowers one recorded evaluator op via [`lower_kind`].
+pub fn lower_entry(e: &TraceEntry) -> FheOp {
+    lower_kind(
+        e.op.kind,
+        e.op.residues,
+        e.op.shed,
+        e.op.added,
+        e.op.batched,
+    )
+}
+
+/// Residue bookkeeping for one chain level, as [`lower_program`] needs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelCost {
+    /// Residues a ciphertext carries at this level.
+    pub residues: usize,
+    /// Residues shed by the transition from this level down to the next
+    /// (0 for level 0, which has no transition).
+    pub shed: usize,
+    /// Residues added by that same transition (BitPacker re-derives
+    /// terminal moduli; RNS-CKKS adds none).
+    pub added: usize,
+}
+
+/// What the IR lowering needs to know about a concrete modulus chain:
+/// per-level residue counts and transition costs, plus whether level
+/// management runs batched (BitPacker) or sequential (RNS-CKKS).
+///
+/// Index `l` describes level `l`; `levels[l].shed`/`added` describe the
+/// `l → l-1` transition, so
+/// `levels[l-1].residues == levels[l].residues - shed + added` must hold.
+/// Built from a `bp_ckks::ModulusChain` by `bp_workloads::chain_profile`
+/// (this crate deliberately has no scheme dependency).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainProfile {
+    /// True for BitPacker chains (batched level management).
+    pub batched: bool,
+    /// Per-level costs, indexed by level (`levels[0]` is the last level).
+    pub levels: Vec<LevelCost>,
+}
+
+impl ChainProfile {
+    /// The chain's top level.
+    pub fn max_level(&self) -> usize {
+        self.levels.len().saturating_sub(1)
+    }
+}
+
+/// Lowers an IR [`Program`] straight to accelerator trace ops — the
+/// second consumer of [`lower_kind`], turning a program that was never
+/// executed on the CPU into the same op stream a recorded trace of it
+/// would lower to.
+///
+/// The program's symbolic level annotations are inferred against the
+/// profile's top level; an `adjust` over k levels emits k sequential
+/// [`FheOp::Adjust`] steps, mirroring how the CPU evaluator (and hence a
+/// recorded trace) steps level-by-level.
+///
+/// # Errors
+/// [`ReplayError`] when the profile is empty or the program's levels
+/// cannot be inferred against it (structural or level-range violations).
+pub fn lower_program(
+    program: &Program,
+    profile: &ChainProfile,
+) -> Result<Vec<TraceOp>, ReplayError> {
+    if profile.levels.is_empty() {
+        return Err(ReplayError {
+            field: "profile",
+            reason: "has no levels".into(),
+        });
+    }
+    let states = program
+        .infer_states(profile.max_level())
+        .map_err(|e| ReplayError {
+            field: "program",
+            reason: e.to_string(),
+        })?;
+    let r_at = |l: usize| profile.levels[l].residues;
+    let mut ops = Vec::with_capacity(program.ops.len());
+    let push = |op: FheOp| TraceOp { op, count: 1.0 };
+    for (k, op) in program.ops.iter().enumerate() {
+        let node = program.inputs + k;
+        let level = states[node].level;
+        match *op {
+            Op::Rescale { a } => {
+                // One transition: result sits one level below the operand.
+                let from = states[a].level;
+                ops.push(push(lower_kind(
+                    OpKind::Rescale,
+                    r_at(level),
+                    profile.levels[from].shed,
+                    profile.levels[from].added,
+                    profile.batched,
+                )));
+            }
+            Op::Adjust { a, target } => {
+                // k transitions, emitted in execution order (downward).
+                let from = states[a].level;
+                for l in (target..from).rev() {
+                    ops.push(push(lower_kind(
+                        OpKind::Adjust,
+                        r_at(l),
+                        profile.levels[l + 1].shed,
+                        profile.levels[l + 1].added,
+                        profile.batched,
+                    )));
+                }
+            }
+            _ => ops.push(push(lower_kind(op.kind(), r_at(level), 0, 0, false))),
+        }
+    }
+    Ok(ops)
 }
 
 /// Lowers a full trace to accelerator trace ops, one entry per recorded
@@ -142,6 +265,7 @@ mod tests {
                 clear_bits: 20.0,
                 scale_log2: 40.0,
                 log_q: 84.0,
+                ir_op: None,
             },
         }
     }
@@ -201,6 +325,79 @@ mod tests {
         assert!(report.cycles > 0.0);
         assert!(report.ms > 0.0);
         assert!(report.energy.total_mj() > 0.0);
+    }
+
+    /// A BitPacker-flavoured 4-level profile: every level packs 4 words,
+    /// each transition sheds 2 and re-derives 1 terminal residue.
+    fn profile() -> ChainProfile {
+        ChainProfile {
+            batched: true,
+            levels: (0..4)
+                .map(|l| LevelCost {
+                    residues: 4 + l,
+                    shed: if l > 0 { 2 } else { 0 },
+                    added: if l > 0 { 1 } else { 0 },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ir_program_lowers_through_the_same_kind_mapping_as_traces() {
+        // mul at level 3 → rescale → adjust 2→0 (two steps).
+        let p = Program::new(
+            0,
+            28,
+            2,
+            vec![
+                Op::Mul { a: 0, b: 1 },
+                Op::Rescale { a: 2 },
+                Op::Adjust { a: 3, target: 0 },
+            ],
+        );
+        let ops = lower_program(&p, &profile()).expect("lowers");
+        let kinds: Vec<&FheOp> = ops.iter().map(|t| &t.op).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &FheOp::HMult { r: 7 },
+                // 3→2: pre-shed basis 7, shed 2 add 1 → result 6.
+                &FheOp::Rescale {
+                    r: 7,
+                    shed: 2,
+                    added: 1,
+                    batched: true,
+                },
+                // adjust 2→0 emits one step per level, downward.
+                &FheOp::Adjust {
+                    r: 6,
+                    shed: 2,
+                    added: 1,
+                    batched: true,
+                },
+                &FheOp::Adjust {
+                    r: 5,
+                    shed: 2,
+                    added: 1,
+                    batched: true,
+                },
+            ]
+        );
+        // Every lowered op must agree with what a recorded trace of the
+        // same execution would lower to via lower_entry: check rescale.
+        assert_eq!(
+            lower_entry(&entry(OpKind::Rescale, 6, 2, 1)),
+            *kinds[1],
+            "IR lowering and trace lowering disagree"
+        );
+    }
+
+    #[test]
+    fn lowering_rejects_programs_too_deep_for_the_profile() {
+        // adjust below level 0 is structurally invalid for any profile.
+        let p = Program::new(0, 28, 1, vec![Op::Adjust { a: 0, target: 5 }]);
+        let err = lower_program(&p, &profile()).unwrap_err();
+        assert_eq!(err.field, "program");
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub struct Evaluator<'a> {
     policy: EvalPolicy,
     repairs: RepairLog,
     cancel: Option<CancelToken>,
+    /// The `bp_ir::Program` node currently executing under
+    /// [`Evaluator::run_program`], stamped into every trace record the op
+    /// emits (including auto-align repairs). `None` for ad-hoc calls.
+    ir_op: Cell<Option<u64>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -107,11 +111,24 @@ impl<'a> Evaluator<'a> {
             policy,
             repairs: RepairLog::default(),
             cancel: None,
+            ir_op: Cell::new(None),
         }
     }
 
     fn chain(&self) -> &ModulusChain {
         self.ctx.chain()
+    }
+
+    /// The bound context (crate-internal: used by the IR interpreter in
+    /// [`crate::program`] to encode plaintext operands).
+    pub(crate) fn context(&self) -> &'a CkksContext {
+        self.ctx
+    }
+
+    /// Sets (or clears) the IR node id stamped into trace records; the IR
+    /// interpreter brackets each `step_op` call with this.
+    pub(crate) fn set_ir_op(&self, node: Option<u64>) {
+        self.ir_op.set(node);
     }
 
     /// The alignment policy this evaluator runs under.
@@ -209,6 +226,7 @@ impl<'a> Evaluator<'a> {
             clear_bits: ct.noise().clear_bits(),
             scale_log2: ct.scale().log2(),
             log_q,
+            ir_op: self.ir_op.get(),
         });
     }
 

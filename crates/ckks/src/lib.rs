@@ -64,11 +64,15 @@ pub mod levels;
 pub mod noise;
 mod params;
 pub mod poly_eval;
+pub mod program;
 mod sampling;
 mod security;
 pub mod wire;
 
 pub use bp_rns::{BpThreadPool, CancelReason, CancelToken};
+// Re-exported so program authors get the IR vocabulary from the scheme
+// crate alone.
+pub use bp_ir as ir;
 // Re-exported so downstream crates (bench binaries, tests) drive the
 // instrumentation layer without naming bp-telemetry as a dependency.
 pub use bp_telemetry as telemetry;
@@ -80,4 +84,5 @@ pub use error::{EvalError, IntegrityError};
 pub use eval::{EvalPolicy, Evaluator, RepairLog};
 pub use keys::{EvaluationKey, KeySwitchKey, PublicKey, SecretKey};
 pub use params::{CkksParams, CkksParamsBuilder, ParamsError, Representation};
+pub use program::{level_budget, PlainSource, ProgramError, ProgramRun};
 pub use security::SecurityLevel;

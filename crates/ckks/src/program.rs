@@ -1,0 +1,254 @@
+//! Backend-agnostic interpreter for [`bp_ir::Program`] DAGs.
+//!
+//! The IR fixes the *structure* of a computation — which ops, over which
+//! nodes, with which symbolic level annotations — while this module fixes
+//! its *execution*: every [`bp_ir::Op`] maps onto exactly one public
+//! [`Evaluator`] method, so the same program runs unchanged under either
+//! [`Representation`](crate::Representation) and either
+//! [`EvalPolicy`](crate::EvalPolicy). Plaintext operands are not stored in
+//! the program; they are named by a `pseed` and materialised on demand
+//! through a [`PlainSource`], which keeps the wire format free of bulk
+//! data and makes replay deterministic.
+//!
+//! Trace integration: while a program runs, the evaluator stamps the
+//! current IR node id into every telemetry [`OpRecord`](bp_telemetry::trace::OpRecord)
+//! (field `ir_op`), including the repair ops an AutoAlign evaluator
+//! inserts — so a recorded trace can be joined back onto the program that
+//! produced it without string matching.
+
+use crate::chain::ModulusChain;
+use crate::ciphertext::Ciphertext;
+use crate::error::EvalError;
+use crate::eval::Evaluator;
+use crate::keys::EvaluationKey;
+use bp_ir::{LevelBudget, Op, Program};
+use std::fmt;
+
+/// Supplies plaintext operand values for `*_plain` IR ops.
+///
+/// The IR names plaintext operands by a 64-bit `pseed`; the source turns
+/// that seed into `slots` slot values. Any `FnMut(u64, usize) -> Vec<f64>`
+/// closure is a `PlainSource` via the blanket impl, so callers can back it
+/// with a PRNG (the oracle), a weight table (workloads), or a constant.
+pub trait PlainSource {
+    /// Returns the slot values for the plaintext operand named `pseed`.
+    fn values(&mut self, pseed: u64, slots: usize) -> Vec<f64>;
+}
+
+impl<F: FnMut(u64, usize) -> Vec<f64>> PlainSource for F {
+    fn values(&mut self, pseed: u64, slots: usize) -> Vec<f64> {
+        self(pseed, slots)
+    }
+}
+
+/// Why [`Evaluator::run_program`] refused or aborted a program.
+#[derive(Debug)]
+pub enum ProgramError {
+    /// The program failed its structural well-formedness check (cycle,
+    /// forward reference, bad output) before any op ran.
+    Malformed(bp_ir::IrError),
+    /// The caller supplied the wrong number of input ciphertexts.
+    InputCount {
+        /// Inputs the program declares.
+        expected: usize,
+        /// Ciphertexts the caller passed.
+        got: usize,
+    },
+    /// An op failed during execution.
+    Eval {
+        /// The program node (input-offset index) that failed.
+        node: usize,
+        /// The evaluator error it failed with.
+        error: EvalError,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Malformed(e) => write!(f, "malformed program: {e}"),
+            ProgramError::InputCount { expected, got } => {
+                write!(f, "program expects {expected} input ciphertexts, got {got}")
+            }
+            ProgramError::Eval { node, error } => {
+                write!(f, "program node {node} failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProgramError::Malformed(e) => Some(e),
+            ProgramError::Eval { error, .. } => Some(error),
+            ProgramError::InputCount { .. } => None,
+        }
+    }
+}
+
+/// The completed state of a program run: one ciphertext per node
+/// (inputs first, then one per op, in program order).
+#[derive(Debug, Clone)]
+pub struct ProgramRun {
+    nodes: Vec<Ciphertext>,
+    outputs: Vec<bp_ir::Output>,
+}
+
+impl ProgramRun {
+    /// All node ciphertexts, inputs included, in node-index order.
+    pub fn nodes(&self) -> &[Ciphertext] {
+        &self.nodes
+    }
+
+    /// The ciphertext at node index `i`.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    pub fn node(&self, i: usize) -> &Ciphertext {
+        &self.nodes[i]
+    }
+
+    /// The ciphertext bound to the named output, if the program declares
+    /// one.
+    pub fn output(&self, name: &str) -> Option<&Ciphertext> {
+        self.outputs
+            .iter()
+            .find(|o| o.name == name)
+            .map(|o| &self.nodes[o.node])
+    }
+
+    /// The program's result by convention: its first declared output, or
+    /// the last node when the program declares none (the legacy oracle
+    /// shape).
+    pub fn result(&self) -> &Ciphertext {
+        match self.outputs.first() {
+            Some(o) => &self.nodes[o.node],
+            None => self.nodes.last().expect("programs have at least one input"),
+        }
+    }
+
+    /// Consumes the run, returning every node ciphertext.
+    pub fn into_nodes(self) -> Vec<Ciphertext> {
+        self.nodes
+    }
+}
+
+/// Extra scale headroom (bits) a multiply needs beyond `2·log2(S_l)` at a
+/// level before the level counts as multiply-capable. Mirrors the margin
+/// the generator's symbolic walk assumes.
+const MUL_HEADROOM_BITS: f64 = 3.0;
+
+/// Derives the [`LevelBudget`] a chain supports: its top level, and the
+/// lowest level at which a `mul`/`square` result (scale `S_l²`) still fits
+/// the level's modulus with [`MUL_HEADROOM_BITS`] to spare. Programs
+/// validated against this budget execute on the chain without capacity
+/// exhaustion.
+pub fn level_budget(chain: &ModulusChain) -> LevelBudget {
+    let max_level = chain.max_level();
+    // Capacity grows monotonically with the level, so a threshold
+    // suffices; combining chains is `max` over their budgets.
+    let fits =
+        |l: usize| chain.log_q_at(l) - 1.0 >= 2.0 * chain.scale_at(l).log2() + MUL_HEADROOM_BITS;
+    let min_mul_level = (0..=max_level).find(|&l| fits(l)).unwrap_or(max_level);
+    LevelBudget {
+        max_level,
+        min_mul_level,
+    }
+}
+
+impl Evaluator<'_> {
+    /// Executes one IR op against already-computed node ciphertexts.
+    ///
+    /// `node` resolves an IR node id (inputs first) to its ciphertext; the
+    /// op's operands must already be present. A lookup function rather
+    /// than a slice so callers with sparse storage — the runtime resuming
+    /// from a checkpoint holds only the live nodes — execute through the
+    /// same dispatch as dense callers (`|i| &nodes[i]`). Plaintext
+    /// operands are drawn from `plain` and encoded at the ciphertext
+    /// operand's level, at that level's chain scale.
+    ///
+    /// # Errors
+    /// Whatever the underlying evaluator op returns ([`EvalError`]).
+    ///
+    /// # Panics
+    /// Whatever `node` does on a missing id — run ops in program order
+    /// (or use [`Evaluator::run_program`], which checks shape up front).
+    pub fn step_op<'n>(
+        &self,
+        op: &Op,
+        node: impl Fn(usize) -> &'n Ciphertext,
+        ek: &EvaluationKey,
+        plain: &mut dyn PlainSource,
+    ) -> Result<Ciphertext, EvalError> {
+        let ctx = self.context();
+        let slots = ctx.params().slots();
+        let mut encode_for = |a: &Ciphertext, pseed: u64| {
+            let vals = plain.values(pseed, slots);
+            ctx.encode(&vals, a.level())
+        };
+        match *op {
+            Op::Add { a, b } => self.add(node(a), node(b)),
+            Op::Sub { a, b } => self.sub(node(a), node(b)),
+            Op::Negate { a } => self.negate(node(a)),
+            Op::AddPlain { a, pseed } => {
+                let pt = encode_for(node(a), pseed);
+                self.add_plain(node(a), &pt)
+            }
+            Op::SubPlain { a, pseed } => {
+                let pt = encode_for(node(a), pseed);
+                self.sub_plain(node(a), &pt)
+            }
+            Op::MulPlain { a, pseed } => {
+                let pt = encode_for(node(a), pseed);
+                self.mul_plain(node(a), &pt)
+            }
+            Op::Mul { a, b } => self.mul(node(a), node(b), ek),
+            Op::Square { a } => self.square(node(a), ek),
+            Op::Rotate { a, steps } => self.rotate(node(a), steps, ek),
+            Op::Conjugate { a } => self.conjugate(node(a), ek),
+            Op::Rescale { a } => self.rescale(node(a)),
+            Op::Adjust { a, target } => self.adjust_to(node(a), target),
+        }
+    }
+
+    /// Interprets a whole [`Program`]: checks its shape, then executes
+    /// every op in order, stamping each op's IR node id into the telemetry
+    /// trace. Works identically under Strict and AutoAlign policies and
+    /// under both representations — the program is the backend-agnostic
+    /// artifact, this method is the backend binding.
+    ///
+    /// # Errors
+    /// [`ProgramError::Malformed`] before execution if the program's DAG
+    /// is ill-shaped; [`ProgramError::InputCount`] if `inputs` does not
+    /// match the program's declared input count; [`ProgramError::Eval`]
+    /// (with the failing node) if any op fails.
+    pub fn run_program(
+        &self,
+        program: &Program,
+        inputs: Vec<Ciphertext>,
+        ek: &EvaluationKey,
+        plain: &mut dyn PlainSource,
+    ) -> Result<ProgramRun, ProgramError> {
+        program.check_shape().map_err(ProgramError::Malformed)?;
+        if inputs.len() != program.inputs {
+            return Err(ProgramError::InputCount {
+                expected: program.inputs,
+                got: inputs.len(),
+            });
+        }
+        let mut nodes = inputs;
+        nodes.reserve(program.ops.len());
+        for (k, op) in program.ops.iter().enumerate() {
+            let node = program.inputs + k;
+            self.set_ir_op(Some(node as u64));
+            let result = self.step_op(op, |i| &nodes[i], ek, plain);
+            self.set_ir_op(None);
+            nodes.push(result.map_err(|error| ProgramError::Eval { node, error })?);
+        }
+        Ok(ProgramRun {
+            nodes,
+            outputs: program.outputs.clone(),
+        })
+    }
+}

@@ -1,0 +1,186 @@
+//! A small builder for constructing [`Program`]s in code.
+//!
+//! Node handles are plain `usize` indices; each emit method pushes one
+//! op and returns the index of its result node, so circuits read as
+//! straight-line code:
+//!
+//! ```
+//! use bp_ir::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new(28);
+//! let x = b.input();
+//! let w = b.mul_plain(x, 0); // plaintext stream 0
+//! let y = b.rescale(w);
+//! let z = b.square(y);
+//! let out = b.rescale(z);
+//! b.output("y", out);
+//! let program = b.finish();
+//! assert_eq!(program.num_nodes(), 5);
+//! assert_eq!(program.output_node("y"), Some(4));
+//! ```
+
+use crate::op::Op;
+use crate::program::{Output, Program};
+
+/// Incrementally builds a [`Program`]. Inputs must be declared before
+/// the first op (node numbering is inputs-first).
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    seed: u64,
+    word_bits: u32,
+    inputs: usize,
+    ops: Vec<Op>,
+    outputs: Vec<Output>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program targeting the given datapath word size.
+    pub fn new(word_bits: u32) -> ProgramBuilder {
+        ProgramBuilder {
+            word_bits,
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Sets the seed recorded in the program (identifies deterministic
+    /// input/plaintext streams; 0 for programs fed externally).
+    pub fn seed(mut self, seed: u64) -> ProgramBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Declares one encrypted input and returns its node index.
+    ///
+    /// # Panics
+    /// Panics if called after the first op has been emitted (inputs are
+    /// numbered before op results).
+    pub fn input(&mut self) -> usize {
+        assert!(
+            self.ops.is_empty(),
+            "inputs must be declared before the first op"
+        );
+        self.inputs += 1;
+        self.inputs - 1
+    }
+
+    fn push(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.inputs + self.ops.len() - 1
+    }
+
+    /// Emits `a + b`.
+    pub fn add(&mut self, a: usize, b: usize) -> usize {
+        self.push(Op::Add { a, b })
+    }
+
+    /// Emits `a - b`.
+    pub fn sub(&mut self, a: usize, b: usize) -> usize {
+        self.push(Op::Sub { a, b })
+    }
+
+    /// Emits `-a`.
+    pub fn negate(&mut self, a: usize) -> usize {
+        self.push(Op::Negate { a })
+    }
+
+    /// Emits `a + plain(pseed)`.
+    pub fn add_plain(&mut self, a: usize, pseed: u64) -> usize {
+        self.push(Op::AddPlain { a, pseed })
+    }
+
+    /// Emits `a - plain(pseed)`.
+    pub fn sub_plain(&mut self, a: usize, pseed: u64) -> usize {
+        self.push(Op::SubPlain { a, pseed })
+    }
+
+    /// Emits `a × plain(pseed)`.
+    pub fn mul_plain(&mut self, a: usize, pseed: u64) -> usize {
+        self.push(Op::MulPlain { a, pseed })
+    }
+
+    /// Emits `a × b`.
+    pub fn mul(&mut self, a: usize, b: usize) -> usize {
+        self.push(Op::Mul { a, b })
+    }
+
+    /// Emits `a²`.
+    pub fn square(&mut self, a: usize) -> usize {
+        self.push(Op::Square { a })
+    }
+
+    /// Emits a rotation of `a` by `steps`.
+    pub fn rotate(&mut self, a: usize, steps: i64) -> usize {
+        self.push(Op::Rotate { a, steps })
+    }
+
+    /// Emits a conjugation of `a`.
+    pub fn conjugate(&mut self, a: usize) -> usize {
+        self.push(Op::Conjugate { a })
+    }
+
+    /// Emits a rescale of `a`.
+    pub fn rescale(&mut self, a: usize) -> usize {
+        self.push(Op::Rescale { a })
+    }
+
+    /// Emits an adjust of `a` down to `target` level.
+    pub fn adjust(&mut self, a: usize, target: usize) -> usize {
+        self.push(Op::Adjust { a, target })
+    }
+
+    /// Names `node` as a program output.
+    pub fn output(&mut self, name: &str, node: usize) {
+        self.outputs.push(Output {
+            name: name.to_string(),
+            node,
+        });
+    }
+
+    /// Finalizes the program (structure is checked by callers via
+    /// [`Program::is_well_formed`] / [`Program::validate`]).
+    pub fn finish(self) -> Program {
+        Program {
+            seed: self.seed,
+            word_bits: self.word_bits,
+            inputs: self.inputs,
+            ops: self.ops,
+            outputs: self.outputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::LevelBudget;
+
+    #[test]
+    fn builder_produces_a_valid_program() {
+        let mut b = ProgramBuilder::new(28).seed(5);
+        let x = b.input();
+        let y = b.input();
+        let p = b.mul(x, y);
+        let r = b.rescale(p);
+        let s = b.add_plain(r, 3);
+        b.output("sum", s);
+        let program = b.finish();
+        assert_eq!(program.seed, 5);
+        assert_eq!(program.inputs, 2);
+        assert!(program
+            .validate(&LevelBudget {
+                max_level: 3,
+                min_mul_level: 1
+            })
+            .is_ok());
+        assert_eq!(program.output_node("sum"), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs must be declared before")]
+    fn late_inputs_panic() {
+        let mut b = ProgramBuilder::new(28);
+        let x = b.input();
+        b.negate(x);
+        b.input();
+    }
+}

@@ -1,0 +1,271 @@
+//! The op vocabulary: [`OpKind`] (the twelve evaluator op kinds and
+//! their stable names) and [`Op`] (a kind plus its operands, as stored
+//! in a [`crate::Program`]).
+//!
+//! [`OpKind::name`] is the single source of truth for op names across
+//! the workspace: the telemetry trace schema, the Prometheus exposition
+//! labels, and the oracle/IR wire formats all serialize these strings.
+
+/// The public evaluator ops that appear in a program or trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Ciphertext + ciphertext addition.
+    Add,
+    /// Ciphertext − ciphertext subtraction.
+    Sub,
+    /// Ciphertext negation.
+    Negate,
+    /// Ciphertext + plaintext addition.
+    AddPlain,
+    /// Ciphertext − plaintext subtraction.
+    SubPlain,
+    /// Ciphertext × plaintext multiplication.
+    MulPlain,
+    /// Ciphertext × ciphertext multiplication (with relinearization).
+    Mul,
+    /// Ciphertext squaring (with relinearization).
+    Square,
+    /// Slot rotation (automorphism + keyswitch).
+    Rotate,
+    /// Complex conjugation (automorphism + keyswitch).
+    Conjugate,
+    /// Explicit or repair rescale.
+    Rescale,
+    /// Explicit or repair level adjust (one trace entry per level step).
+    Adjust,
+}
+
+/// Number of op kinds in [`OpKind::ALL`].
+pub const NUM_OP_KINDS: usize = 12;
+
+impl OpKind {
+    /// Every op kind, in stable report order.
+    pub const ALL: [OpKind; NUM_OP_KINDS] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Negate,
+        OpKind::AddPlain,
+        OpKind::SubPlain,
+        OpKind::MulPlain,
+        OpKind::Mul,
+        OpKind::Square,
+        OpKind::Rotate,
+        OpKind::Conjugate,
+        OpKind::Rescale,
+        OpKind::Adjust,
+    ];
+
+    /// Stable snake_case name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Negate => "negate",
+            OpKind::AddPlain => "add_plain",
+            OpKind::SubPlain => "sub_plain",
+            OpKind::MulPlain => "mul_plain",
+            OpKind::Mul => "mul",
+            OpKind::Square => "square",
+            OpKind::Rotate => "rotate",
+            OpKind::Conjugate => "conjugate",
+            OpKind::Rescale => "rescale",
+            OpKind::Adjust => "adjust",
+        }
+    }
+
+    /// Inverse of [`OpKind::name`].
+    pub fn from_name(name: &str) -> Option<OpKind> {
+        OpKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+/// One operation over program nodes. Operand indices (`a`, `b`) refer to
+/// earlier nodes of the owning [`crate::Program`] (inputs first, then op
+/// results in order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `node[a] + node[b]` (operands must share level and exact scale).
+    Add {
+        /// Left operand node.
+        a: usize,
+        /// Right operand node.
+        b: usize,
+    },
+    /// `node[a] - node[b]` (operands must share level and exact scale).
+    Sub {
+        /// Left operand node.
+        a: usize,
+        /// Right operand node.
+        b: usize,
+    },
+    /// `-node[a]`.
+    Negate {
+        /// Operand node.
+        a: usize,
+    },
+    /// `node[a] + plain(pseed)`, the plaintext encoded at the node's
+    /// level and chain scale.
+    AddPlain {
+        /// Operand node.
+        a: usize,
+        /// Seed identifying the plaintext slot vector.
+        pseed: u64,
+    },
+    /// `node[a] - plain(pseed)`.
+    SubPlain {
+        /// Operand node.
+        a: usize,
+        /// Seed identifying the plaintext slot vector.
+        pseed: u64,
+    },
+    /// `node[a] × plain(pseed)` (squares the scale, like `mul`).
+    MulPlain {
+        /// Operand node.
+        a: usize,
+        /// Seed identifying the plaintext slot vector.
+        pseed: u64,
+    },
+    /// `node[a] × node[b]` with relinearization.
+    Mul {
+        /// Left operand node.
+        a: usize,
+        /// Right operand node.
+        b: usize,
+    },
+    /// `node[a]²` with relinearization.
+    Square {
+        /// Operand node.
+        a: usize,
+    },
+    /// Slot rotation by `steps` (`out[i] = in[(i + steps) mod slots]`).
+    Rotate {
+        /// Operand node.
+        a: usize,
+        /// Rotation amount (may be negative).
+        steps: i64,
+    },
+    /// Complex conjugation.
+    Conjugate {
+        /// Operand node.
+        a: usize,
+    },
+    /// Drop one level, dividing out the level's scale factor.
+    Rescale {
+        /// Operand node (an unrescaled product).
+        a: usize,
+    },
+    /// Adjust a chain-scale node down to `target` level.
+    Adjust {
+        /// Operand node.
+        a: usize,
+        /// Destination level (`target < level(a)`).
+        target: usize,
+    },
+}
+
+impl Op {
+    /// The op's kind (shared vocabulary with traces and reports).
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Add { .. } => OpKind::Add,
+            Op::Sub { .. } => OpKind::Sub,
+            Op::Negate { .. } => OpKind::Negate,
+            Op::AddPlain { .. } => OpKind::AddPlain,
+            Op::SubPlain { .. } => OpKind::SubPlain,
+            Op::MulPlain { .. } => OpKind::MulPlain,
+            Op::Mul { .. } => OpKind::Mul,
+            Op::Square { .. } => OpKind::Square,
+            Op::Rotate { .. } => OpKind::Rotate,
+            Op::Conjugate { .. } => OpKind::Conjugate,
+            Op::Rescale { .. } => OpKind::Rescale,
+            Op::Adjust { .. } => OpKind::Adjust,
+        }
+    }
+
+    /// The operand node indices: `(a, Some(b))` for binary ops,
+    /// `(a, None)` otherwise.
+    pub fn operands(&self) -> (usize, Option<usize>) {
+        match *self {
+            Op::Add { a, b } | Op::Sub { a, b } | Op::Mul { a, b } => (a, Some(b)),
+            Op::Negate { a }
+            | Op::AddPlain { a, .. }
+            | Op::SubPlain { a, .. }
+            | Op::MulPlain { a, .. }
+            | Op::Square { a }
+            | Op::Rotate { a, .. }
+            | Op::Conjugate { a }
+            | Op::Rescale { a }
+            | Op::Adjust { a, .. } => (a, None),
+        }
+    }
+
+    /// Rewrites the operand node indices through `map` (used by program
+    /// transformations such as the oracle's cone-deletion shrinker).
+    pub fn remap(&self, map: impl Fn(usize) -> usize) -> Op {
+        let mut op = *self;
+        match &mut op {
+            Op::Add { a, b } | Op::Sub { a, b } | Op::Mul { a, b } => {
+                *a = map(*a);
+                *b = map(*b);
+            }
+            Op::Negate { a }
+            | Op::AddPlain { a, .. }
+            | Op::SubPlain { a, .. }
+            | Op::MulPlain { a, .. }
+            | Op::Square { a }
+            | Op::Rotate { a, .. }
+            | Op::Conjugate { a }
+            | Op::Rescale { a }
+            | Op::Adjust { a, .. } => *a = map(*a),
+        }
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_kind_names_roundtrip() {
+        for k in OpKind::ALL {
+            assert_eq!(OpKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(OpKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn kinds_and_operands_are_consistent() {
+        let ops = [
+            Op::Add { a: 0, b: 1 },
+            Op::Sub { a: 0, b: 1 },
+            Op::Negate { a: 0 },
+            Op::AddPlain { a: 0, pseed: 7 },
+            Op::SubPlain { a: 0, pseed: 7 },
+            Op::MulPlain { a: 0, pseed: 7 },
+            Op::Mul { a: 0, b: 1 },
+            Op::Square { a: 0 },
+            Op::Rotate { a: 0, steps: -2 },
+            Op::Conjugate { a: 0 },
+            Op::Rescale { a: 0 },
+            Op::Adjust { a: 0, target: 1 },
+        ];
+        for (op, kind) in ops.iter().zip(OpKind::ALL) {
+            assert_eq!(op.kind(), kind);
+            let (a, b) = op.operands();
+            assert_eq!(a, 0);
+            assert_eq!(
+                b.is_some(),
+                matches!(kind, OpKind::Add | OpKind::Sub | OpKind::Mul)
+            );
+        }
+    }
+
+    #[test]
+    fn remap_rewrites_all_operands() {
+        let op = Op::Mul { a: 2, b: 5 };
+        assert_eq!(op.remap(|i| i + 1), Op::Mul { a: 3, b: 6 });
+        let op = Op::Adjust { a: 4, target: 1 };
+        assert_eq!(op.remap(|i| i - 1), Op::Adjust { a: 3, target: 1 });
+    }
+}

@@ -1,0 +1,115 @@
+//! Exact `f64` reference interpreter.
+//!
+//! Executes a [`Program`] on plain slot vectors with exact plaintext
+//! semantics: rotation moves slots, conjugation is the identity on real
+//! vectors, and the level-management ops (`rescale`, `adjust`) are
+//! value-preserving — which is the point of the paper's claim that level
+//! management must not change program results. The differential oracle
+//! compares both encrypted backends against this, and the workload
+//! proxies use it as their error baseline.
+
+use crate::op::Op;
+use crate::program::Program;
+
+/// Runs `program` on the given input slot vectors, resolving plaintext
+/// operands through `plain` (a `pseed → slot vector` source). Returns
+/// the value of every node, in node order.
+///
+/// All input vectors must share one slot count; plaintext vectors are
+/// requested at that count.
+///
+/// # Panics
+/// Panics if `program` is not well-formed or `inputs.len()` does not
+/// match `program.inputs` (callers validate first; the oracle generates
+/// well-formed programs by construction).
+pub fn run(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    plain: &mut dyn FnMut(u64, usize) -> Vec<f64>,
+) -> Vec<Vec<f64>> {
+    assert_eq!(
+        inputs.len(),
+        program.inputs,
+        "input vector count must match the program"
+    );
+    assert!(program.is_well_formed(), "program must be well-formed");
+    let slots = inputs.first().map_or(0, Vec::len);
+    let mut nodes: Vec<Vec<f64>> = inputs.to_vec();
+    for op in &program.ops {
+        let out = match *op {
+            Op::Add { a, b } => zip_with(&nodes[a], &nodes[b], |x, y| x + y),
+            Op::Sub { a, b } => zip_with(&nodes[a], &nodes[b], |x, y| x - y),
+            Op::Mul { a, b } => zip_with(&nodes[a], &nodes[b], |x, y| x * y),
+            Op::Negate { a } => nodes[a].iter().map(|x| -x).collect(),
+            Op::Square { a } => nodes[a].iter().map(|x| x * x).collect(),
+            Op::AddPlain { a, pseed } => zip_with(&nodes[a], &plain(pseed, slots), |x, y| x + y),
+            Op::SubPlain { a, pseed } => zip_with(&nodes[a], &plain(pseed, slots), |x, y| x - y),
+            Op::MulPlain { a, pseed } => zip_with(&nodes[a], &plain(pseed, slots), |x, y| x * y),
+            Op::Rotate { a, steps } => {
+                let src = &nodes[a];
+                (0..slots)
+                    .map(|i| src[(i + steps.rem_euclid(slots as i64) as usize) % slots])
+                    .collect()
+            }
+            Op::Conjugate { a } | Op::Rescale { a } | Op::Adjust { a, .. } => nodes[a].clone(),
+        };
+        nodes.push(out);
+    }
+    nodes
+}
+
+fn zip_with(a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+    a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_convention_moves_slot_i_plus_steps_into_slot_i() {
+        let p = Program::new(0, 28, 1, vec![Op::Rotate { a: 0, steps: 1 }]);
+        let nodes = run(&p, &[vec![10.0, 20.0, 30.0, 40.0]], &mut |_, _| vec![]);
+        assert_eq!(nodes[1], vec![20.0, 30.0, 40.0, 10.0]);
+        let p = Program::new(0, 28, 1, vec![Op::Rotate { a: 0, steps: -1 }]);
+        let nodes = run(&p, &[vec![10.0, 20.0, 30.0, 40.0]], &mut |_, _| vec![]);
+        assert_eq!(nodes[1], vec![40.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn level_management_is_value_preserving() {
+        let p = Program::new(
+            0,
+            28,
+            1,
+            vec![
+                Op::Square { a: 0 },
+                Op::Rescale { a: 1 },
+                Op::Adjust { a: 2, target: 0 },
+                Op::Conjugate { a: 3 },
+            ],
+        );
+        let nodes = run(&p, &[vec![0.5, -0.25]], &mut |_, _| vec![]);
+        assert_eq!(nodes[4], vec![0.25, 0.0625]);
+    }
+
+    #[test]
+    fn plain_operands_come_from_the_source() {
+        let p = Program::new(
+            0,
+            28,
+            1,
+            vec![
+                Op::MulPlain { a: 0, pseed: 7 },
+                Op::AddPlain { a: 1, pseed: 9 },
+            ],
+        );
+        let mut asked = Vec::new();
+        let nodes = run(&p, &[vec![2.0, 3.0]], &mut |pseed, slots| {
+            asked.push(pseed);
+            vec![pseed as f64; slots]
+        });
+        assert_eq!(asked, vec![7, 9]);
+        assert_eq!(nodes[2], vec![23.0, 30.0]);
+    }
+}

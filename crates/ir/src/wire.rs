@@ -1,0 +1,444 @@
+//! The versioned JSON wire format for programs.
+//!
+//! Writing always produces the canonical `bitpacker-ir/v1` encoding:
+//! fixed field order (`schema`, `seed`, `word_bits`, `inputs`, `ops`,
+//! then `outputs` only when non-empty, then `note` only when present),
+//! compact separators, integers without fractions. [`canonical_json`]
+//! re-encodes a document and is what CI uses to reject hand-edited
+//! non-canonical traces.
+//!
+//! Reading is more liberal — [`IrDoc::from_json`] ingests three schema
+//! families:
+//!
+//! - `bitpacker-ir/v1`: the native format (ops plus named outputs).
+//! - `bitpacker-oracle-trace/v1`: the legacy oracle trace (same op
+//!   encoding, no outputs). Checked-in divergence traces from before the
+//!   IR unification keep replaying through this path.
+//! - `bitpacker-eval-trace/*`: a recorded evaluator trace. The recorder
+//!   keeps no operand indices, so the entries are rebuilt as a straight
+//!   chain (each op consumes the previous node) — a structural skeleton
+//!   that preserves op kinds and the level schedule for replay and
+//!   lowering, not the original dataflow.
+
+use crate::json::{Json, JsonError, Obj};
+use crate::op::{Op, OpKind};
+use crate::program::{Output, Program};
+
+/// Schema tag written by [`Program::to_json`] / [`IrDoc::to_json`].
+pub const IR_SCHEMA: &str = "bitpacker-ir/v1";
+
+/// Legacy oracle-trace schema tag still accepted by the reader.
+pub const LEGACY_ORACLE_SCHEMA: &str = "bitpacker-oracle-trace/v1";
+
+/// Prefix of the evaluator-trace schema family accepted by the reader.
+const EVAL_TRACE_PREFIX: &str = "bitpacker-eval-trace/";
+
+/// Errors from parsing or validating a program document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// The document is not valid JSON.
+    Json(JsonError),
+    /// The JSON is well-formed but not a valid program document.
+    Schema(String),
+    /// The program parsed but failed structural or level validation.
+    Invalid {
+        /// Node at which validation failed.
+        node: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::Json(e) => write!(f, "document is not valid JSON: {e}"),
+            IrError::Schema(m) => write!(f, "document does not match a program schema: {m}"),
+            IrError::Invalid { node, reason } => {
+                write!(f, "invalid program at node {node}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+impl From<JsonError> for IrError {
+    fn from(e: JsonError) -> Self {
+        IrError::Json(e)
+    }
+}
+
+/// A program document: the program plus its optional free-text note
+/// (typically the divergence description a shrunk oracle trace carries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrDoc {
+    /// The program.
+    pub program: Program,
+    /// Free-text annotation, preserved across parse/render.
+    pub note: Option<String>,
+}
+
+impl IrDoc {
+    /// Serializes as canonical `bitpacker-ir/v1`.
+    pub fn to_json(&self) -> String {
+        self.program.to_json(self.note.as_deref())
+    }
+
+    /// Parses any accepted schema (see the module docs).
+    ///
+    /// # Errors
+    /// [`IrError::Json`] for malformed JSON, [`IrError::Schema`] for
+    /// unknown schemas, unknown ops, missing operand fields (bad arity),
+    /// or out-of-range node references.
+    pub fn from_json(text: &str) -> Result<IrDoc, IrError> {
+        let v = Json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| IrError::Schema("missing schema tag".into()))?;
+        if schema == IR_SCHEMA || schema == LEGACY_ORACLE_SCHEMA {
+            parse_program_doc(&v, schema == IR_SCHEMA)
+        } else if schema.starts_with(EVAL_TRACE_PREFIX) {
+            parse_eval_trace_doc(&v)
+        } else {
+            Err(IrError::Schema(format!(
+                "schema {schema:?}, expected {IR_SCHEMA:?}, {LEGACY_ORACLE_SCHEMA:?}, or {EVAL_TRACE_PREFIX}*"
+            )))
+        }
+    }
+}
+
+impl Program {
+    /// Serializes the program as a canonical [`IR_SCHEMA`] document, with
+    /// an optional free-text `note` describing e.g. the divergence that
+    /// produced it.
+    pub fn to_json(&self, note: Option<&str>) -> String {
+        let ops: Vec<String> = self.ops.iter().map(op_to_json).collect();
+        let mut obj = Obj::new()
+            .str("schema", IR_SCHEMA)
+            .u64("seed", self.seed)
+            .u64("word_bits", u64::from(self.word_bits))
+            .u64("inputs", self.inputs as u64)
+            .arr("ops", ops);
+        if !self.outputs.is_empty() {
+            let outs: Vec<String> = self
+                .outputs
+                .iter()
+                .map(|o| {
+                    Obj::new()
+                        .str("name", &o.name)
+                        .u64("node", o.node as u64)
+                        .build()
+                })
+                .collect();
+            obj = obj.arr("outputs", outs);
+        }
+        if let Some(n) = note {
+            obj = obj.str("note", n);
+        }
+        obj.build()
+    }
+
+    /// Parses a program from any accepted schema, dropping the note.
+    ///
+    /// # Errors
+    /// As [`IrDoc::from_json`].
+    pub fn from_json(text: &str) -> Result<Program, IrError> {
+        IrDoc::from_json(text).map(|d| d.program)
+    }
+}
+
+/// Parses a document and re-renders it canonically. CI replays fail when
+/// a checked-in `bitpacker-ir/v1` trace is not byte-identical to this.
+///
+/// # Errors
+/// As [`IrDoc::from_json`].
+pub fn canonical_json(text: &str) -> Result<String, IrError> {
+    IrDoc::from_json(text).map(|d| d.to_json())
+}
+
+fn parse_program_doc(v: &Json, allow_outputs: bool) -> Result<IrDoc, IrError> {
+    let field = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| IrError::Schema(format!("missing or non-integer field {k:?}")))
+    };
+    let seed = field("seed")?;
+    let word_bits = u32::try_from(field("word_bits")?)
+        .map_err(|_| IrError::Schema("word_bits out of range".into()))?;
+    let inputs = field("inputs")? as usize;
+    let ops_json = v
+        .get("ops")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| IrError::Schema("missing ops array".into()))?;
+    let ops = ops_json
+        .iter()
+        .map(op_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut outputs = Vec::new();
+    if let Some(outs) = v.get("outputs") {
+        if !allow_outputs {
+            return Err(IrError::Schema(
+                "legacy oracle traces carry no outputs field".into(),
+            ));
+        }
+        let outs = outs
+            .as_arr()
+            .ok_or_else(|| IrError::Schema("outputs is not an array".into()))?;
+        for o in outs {
+            let name = o
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| IrError::Schema("output entry missing name".into()))?;
+            let node = o
+                .get("node")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| IrError::Schema("output entry missing node".into()))?;
+            outputs.push(Output {
+                name: name.to_string(),
+                node: node as usize,
+            });
+        }
+    }
+    let program = Program {
+        seed,
+        word_bits,
+        inputs,
+        ops,
+        outputs,
+    };
+    if !program.is_well_formed() {
+        return Err(IrError::Schema(
+            "op references a node at or after its own position".into(),
+        ));
+    }
+    Ok(IrDoc {
+        program,
+        note: v.get("note").and_then(Json::as_str).map(str::to_string),
+    })
+}
+
+/// Rebuilds an evaluator trace as a single-input chain program (see the
+/// module docs for the fidelity caveats).
+fn parse_eval_trace_doc(v: &Json) -> Result<IrDoc, IrError> {
+    let meta = v
+        .get("meta")
+        .ok_or_else(|| IrError::Schema("eval trace missing meta".into()))?;
+    let word_bits = meta
+        .get("word_bits")
+        .and_then(Json::as_u64)
+        .and_then(|w| u32::try_from(w).ok())
+        .ok_or_else(|| IrError::Schema("meta.word_bits missing or invalid".into()))?;
+    let entries = v
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| IrError::Schema("eval trace missing entries array".into()))?;
+    let mut ops = Vec::with_capacity(entries.len());
+    let mut prev = 0usize;
+    for (i, e) in entries.iter().enumerate() {
+        let name = e
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| IrError::Schema(format!("entries[{i}].op missing")))?;
+        let kind = OpKind::from_name(name)
+            .ok_or_else(|| IrError::Schema(format!("entries[{i}].op unknown: {name}")))?;
+        let level = e
+            .get("level")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| IrError::Schema(format!("entries[{i}].level missing")))?
+            as usize;
+        let op = match kind {
+            OpKind::Add => Op::Add { a: prev, b: prev },
+            OpKind::Sub => Op::Sub { a: prev, b: prev },
+            OpKind::Negate => Op::Negate { a: prev },
+            OpKind::AddPlain => Op::AddPlain { a: prev, pseed: 0 },
+            OpKind::SubPlain => Op::SubPlain { a: prev, pseed: 0 },
+            OpKind::MulPlain => Op::MulPlain { a: prev, pseed: 0 },
+            OpKind::Mul => Op::Mul { a: prev, b: prev },
+            OpKind::Square => Op::Square { a: prev },
+            OpKind::Rotate => Op::Rotate { a: prev, steps: 1 },
+            OpKind::Conjugate => Op::Conjugate { a: prev },
+            OpKind::Rescale => Op::Rescale { a: prev },
+            OpKind::Adjust => Op::Adjust {
+                a: prev,
+                target: level,
+            },
+        };
+        ops.push(op);
+        prev = 1 + i;
+    }
+    let workload = meta.get("workload").and_then(Json::as_str);
+    Ok(IrDoc {
+        program: Program::new(0, word_bits, 1, ops),
+        note: workload.map(|w| format!("rebuilt from eval trace of workload {w:?}")),
+    })
+}
+
+fn op_to_json(op: &Op) -> String {
+    let o = Obj::new().str("op", op.kind().name());
+    match *op {
+        Op::Add { a, b } | Op::Sub { a, b } | Op::Mul { a, b } => {
+            o.u64("a", a as u64).u64("b", b as u64)
+        }
+        Op::Negate { a } | Op::Conjugate { a } | Op::Square { a } | Op::Rescale { a } => {
+            o.u64("a", a as u64)
+        }
+        Op::AddPlain { a, pseed } | Op::SubPlain { a, pseed } | Op::MulPlain { a, pseed } => {
+            o.u64("a", a as u64).u64("pseed", pseed)
+        }
+        Op::Rotate { a, steps } => o.u64("a", a as u64).raw("steps", steps.to_string()),
+        Op::Adjust { a, target } => o.u64("a", a as u64).u64("target", target as u64),
+    }
+    .build()
+}
+
+fn op_from_json(v: &Json) -> Result<Op, IrError> {
+    let name = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| IrError::Schema("op entry missing op name".into()))?;
+    let kind = OpKind::from_name(name)
+        .ok_or_else(|| IrError::Schema(format!("unknown op name {name:?}")))?;
+    let idx = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .map(|u| u as usize)
+            .ok_or_else(|| IrError::Schema(format!("op {name:?} missing field {k:?}")))
+    };
+    let seed = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| IrError::Schema(format!("op {name:?} missing field {k:?}")))
+    };
+    Ok(match kind {
+        OpKind::Add => Op::Add {
+            a: idx("a")?,
+            b: idx("b")?,
+        },
+        OpKind::Sub => Op::Sub {
+            a: idx("a")?,
+            b: idx("b")?,
+        },
+        OpKind::Negate => Op::Negate { a: idx("a")? },
+        OpKind::AddPlain => Op::AddPlain {
+            a: idx("a")?,
+            pseed: seed("pseed")?,
+        },
+        OpKind::SubPlain => Op::SubPlain {
+            a: idx("a")?,
+            pseed: seed("pseed")?,
+        },
+        OpKind::MulPlain => Op::MulPlain {
+            a: idx("a")?,
+            pseed: seed("pseed")?,
+        },
+        OpKind::Mul => Op::Mul {
+            a: idx("a")?,
+            b: idx("b")?,
+        },
+        OpKind::Square => Op::Square { a: idx("a")? },
+        OpKind::Rotate => {
+            let steps = v
+                .get("steps")
+                .and_then(Json::as_f64)
+                .filter(|s| s.fract() == 0.0)
+                .map(|s| s as i64)
+                .ok_or_else(|| IrError::Schema("rotate missing integer steps".into()))?;
+            Op::Rotate {
+                a: idx("a")?,
+                steps,
+            }
+        }
+        OpKind::Conjugate => Op::Conjugate { a: idx("a")? },
+        OpKind::Rescale => Op::Rescale { a: idx("a")? },
+        OpKind::Adjust => Op::Adjust {
+            a: idx("a")?,
+            target: idx("target")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        let mut p = Program::new(
+            42,
+            28,
+            2,
+            vec![
+                Op::Mul { a: 0, b: 1 },
+                Op::Rescale { a: 2 },
+                Op::Adjust { a: 0, target: 2 },
+                Op::Rotate { a: 3, steps: -2 },
+                Op::AddPlain { a: 3, pseed: 777 },
+            ],
+        );
+        p.outputs.push(Output {
+            name: "sum".into(),
+            node: 6,
+        });
+        p
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact_and_canonical() {
+        let doc = IrDoc {
+            program: sample(),
+            note: Some("cross-backend mismatch at node 4".into()),
+        };
+        let text = doc.to_json();
+        let back = IrDoc::from_json(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(canonical_json(&text).unwrap(), text);
+    }
+
+    #[test]
+    fn legacy_oracle_traces_parse() {
+        let text = r#"{"schema":"bitpacker-oracle-trace/v1","seed":9,"word_bits":64,"inputs":2,"ops":[{"op":"adjust","a":1,"target":0},{"op":"square","a":2}],"note":"legacy"}"#;
+        let doc = IrDoc::from_json(text).unwrap();
+        assert_eq!(doc.program.inputs, 2);
+        assert_eq!(doc.program.ops.len(), 2);
+        assert!(doc.program.outputs.is_empty());
+        assert_eq!(doc.note.as_deref(), Some("legacy"));
+        // Re-encoding upgrades the schema tag.
+        assert!(doc.to_json().starts_with(r#"{"schema":"bitpacker-ir/v1""#));
+    }
+
+    #[test]
+    fn eval_traces_rebuild_as_a_chain() {
+        let text = r#"{"schema":"bitpacker-eval-trace/v2","meta":{"workload":"w","n":64,"dnum":1,"special":1,"word_bits":28},"dropped":0,"entries":[
+            {"seq":0,"op":"square","level":3,"residues":4,"shed":0,"added":0,"batched":false,"repair":false,"duration_ns":1,"noise_bits":1,"clear_bits":9,"scale_log2":26,"log_q":80},
+            {"seq":1,"op":"rescale","level":2,"residues":3,"shed":1,"added":0,"batched":true,"repair":false,"duration_ns":1,"noise_bits":1,"clear_bits":9,"scale_log2":26,"log_q":54},
+            {"seq":2,"op":"adjust","level":1,"residues":2,"shed":1,"added":0,"batched":true,"repair":false,"duration_ns":1,"noise_bits":1,"clear_bits":9,"scale_log2":26,"log_q":28}]}"#;
+        let doc = IrDoc::from_json(text).unwrap();
+        let p = &doc.program;
+        assert_eq!(p.inputs, 1);
+        assert_eq!(
+            p.ops,
+            vec![
+                Op::Square { a: 0 },
+                Op::Rescale { a: 1 },
+                Op::Adjust { a: 2, target: 1 },
+            ]
+        );
+        assert!(p.infer_states(3).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_schema_bad_arity_and_forward_references() {
+        assert!(matches!(
+            IrDoc::from_json(r#"{"schema":"other/v9"}"#),
+            Err(IrError::Schema(_))
+        ));
+        // Bad arity: add without its second operand.
+        let bad = r#"{"schema":"bitpacker-ir/v1","seed":1,"word_bits":28,"inputs":2,"ops":[{"op":"add","a":0}]}"#;
+        let err = IrDoc::from_json(bad).unwrap_err();
+        assert!(err.to_string().contains("\"b\""), "{err}");
+        // Forward reference: op 0 reads node 5 with only 2 inputs.
+        let bad = r#"{"schema":"bitpacker-ir/v1","seed":1,"word_bits":28,"inputs":2,"ops":[{"op":"negate","a":5}]}"#;
+        assert!(matches!(IrDoc::from_json(bad), Err(IrError::Schema(_))));
+    }
+}

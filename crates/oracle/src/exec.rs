@@ -21,11 +21,11 @@
 //! and round-trip identically).
 
 use crate::generate::{input_values, plain_values, GenLimits, ROTATION_STEPS};
-use crate::program::{Op, Program};
 use bp_ckks::wire::{read_ciphertext, write_ciphertext};
 use bp_ckks::{
     Ciphertext, CkksContext, CkksParams, EvalPolicy, KeySet, Representation, SecurityLevel,
 };
+use bp_ir::Program;
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 
@@ -148,11 +148,6 @@ pub struct OracleEnv {
     rns: Backend,
 }
 
-/// Headroom (bits) a level must have beyond the squared scale before the
-/// generator is allowed to multiply there: covers the product's own noise
-/// plus a few subsequent additions at the product scale.
-const MUL_HEADROOM_BITS: f64 = 3.0;
-
 impl OracleEnv {
     /// Builds both backend contexts and key sets for a word-size label.
     ///
@@ -164,24 +159,16 @@ impl OracleEnv {
         let bitpacker = Backend::new(&cfg, Representation::BitPacker)?;
         let rns = Backend::new(&cfg, Representation::RnsCkks)?;
 
-        // A multiply at level l is only well defined when Q_l can hold the
-        // S_l²-scale product (plus headroom) on *both* chains; capacity
-        // grows monotonically with the level, so a threshold suffices.
-        let fits = |l: usize| {
-            [&bitpacker, &rns].iter().all(|b| {
-                let chain = b.ctx.chain();
-                chain.log_q_at(l) - 1.0 >= 2.0 * chain.scale_at(l).log2() + MUL_HEADROOM_BITS
-            })
-        };
-        let min_mul_level = (0..=cfg.max_level)
-            .find(|&l| fits(l))
-            .unwrap_or(cfg.max_level);
+        // A multiply is only well defined when it fits *both* chains'
+        // budgets, so the stricter capacity gate wins.
+        let bp_budget = bp_ckks::level_budget(bitpacker.ctx.chain());
+        let rns_budget = bp_ckks::level_budget(rns.ctx.chain());
 
         Ok(Self {
             cfg,
             limits: GenLimits {
                 max_level: cfg.max_level,
-                min_mul_level,
+                min_mul_level: bp_budget.min_mul_level.max(rns_budget.min_mul_level),
             },
             bitpacker,
             rns,
@@ -376,41 +363,16 @@ pub fn run_program(env: &OracleEnv, program: &Program) -> Option<Divergence> {
     None
 }
 
-/// Exact slot-vector reference: the op semantics on plain `f64` vectors.
-/// Rescale and adjust are value-preserving; rotation follows the library
-/// convention `out[i] = in[(i + steps) mod slots]`; conjugation is the
-/// identity on real slots.
+/// Exact slot-vector reference: the oracle's inputs fed through the
+/// shared [`bp_ir::reference`] interpreter. Rescale and adjust are
+/// value-preserving; rotation follows the library convention
+/// `out[i] = in[(i + steps) mod slots]`; conjugation is the identity on
+/// real slots.
 pub fn reference_run(program: &Program, slots: usize) -> Vec<Vec<f64>> {
-    let mut nodes: Vec<Vec<f64>> = (0..program.inputs)
+    let inputs: Vec<Vec<f64>> = (0..program.inputs)
         .map(|i| input_values(program.seed, i, slots))
         .collect();
-    for op in &program.ops {
-        let out = match *op {
-            Op::Add { a, b } => zip_with(&nodes[a], &nodes[b], |x, y| x + y),
-            Op::Sub { a, b } => zip_with(&nodes[a], &nodes[b], |x, y| x - y),
-            Op::Mul { a, b } => zip_with(&nodes[a], &nodes[b], |x, y| x * y),
-            Op::Negate { a } => nodes[a].iter().map(|x| -x).collect(),
-            Op::Square { a } => nodes[a].iter().map(|x| x * x).collect(),
-            Op::AddPlain { a, pseed } => {
-                zip_with(&nodes[a], &plain_values(pseed, slots), |x, y| x + y)
-            }
-            Op::SubPlain { a, pseed } => {
-                zip_with(&nodes[a], &plain_values(pseed, slots), |x, y| x - y)
-            }
-            Op::MulPlain { a, pseed } => {
-                zip_with(&nodes[a], &plain_values(pseed, slots), |x, y| x * y)
-            }
-            Op::Rotate { a, steps } => {
-                let src = &nodes[a];
-                (0..slots)
-                    .map(|i| src[(i + steps.rem_euclid(slots as i64) as usize) % slots])
-                    .collect()
-            }
-            Op::Conjugate { a } | Op::Rescale { a } | Op::Adjust { a, .. } => nodes[a].clone(),
-        };
-        nodes.push(out);
-    }
-    nodes
+    bp_ir::reference::run(program, &inputs, &mut |pseed, n| plain_values(pseed, n))
 }
 
 fn backend_run(backend: &Backend, program: &Program, slots: usize) -> BackendRun {
@@ -439,32 +401,13 @@ fn backend_run(backend: &Backend, program: &Program, slots: usize) -> BackendRun
         cts.push(ct);
     }
 
+    // Op nodes: the single shared IR dispatch in `bp-ckks` (the same
+    // `step_op` the `run_program` interpreter uses), with plaintext
+    // operands resolved from the deterministic pseed streams.
+    let mut plain = |pseed: u64, n: usize| plain_values(pseed, n);
     for (k, op) in program.ops.iter().enumerate() {
         let node = program.inputs + k;
-        let result = match *op {
-            Op::Add { a, b } => ev.add(&cts[a], &cts[b]),
-            Op::Sub { a, b } => ev.sub(&cts[a], &cts[b]),
-            Op::Mul { a, b } => ev.mul(&cts[a], &cts[b], ek),
-            Op::Square { a } => ev.square(&cts[a], ek),
-            Op::Negate { a } => ev.negate(&cts[a]),
-            Op::Rotate { a, steps } => ev.rotate(&cts[a], steps, ek),
-            Op::Conjugate { a } => ev.conjugate(&cts[a], ek),
-            Op::Rescale { a } => ev.rescale(&cts[a]),
-            Op::Adjust { a, target } => ev.adjust_to(&cts[a], target),
-            Op::AddPlain { a, pseed } => {
-                let pt = encode_for(backend, &cts[a], pseed, slots);
-                ev.add_plain(&cts[a], &pt)
-            }
-            Op::SubPlain { a, pseed } => {
-                let pt = encode_for(backend, &cts[a], pseed, slots);
-                ev.sub_plain(&cts[a], &pt)
-            }
-            Op::MulPlain { a, pseed } => {
-                let pt = encode_for(backend, &cts[a], pseed, slots);
-                ev.mul_plain(&cts[a], &pt)
-            }
-        };
-        let ct = match result {
+        let ct = match ev.step_op(op, |i| &cts[i], ek, &mut plain) {
             Ok(ct) => ct,
             Err(e) => {
                 run.error = Some((node, e.to_string()));
@@ -479,13 +422,6 @@ fn backend_run(backend: &Backend, program: &Program, slots: usize) -> BackendRun
         cts.push(ct);
     }
     run
-}
-
-/// Encodes the plain operand for `ct`'s level at the chain scale (the
-/// generator only applies plain ops to chain-scale nodes).
-fn encode_for(backend: &Backend, ct: &Ciphertext, pseed: u64, slots: usize) -> bp_ckks::Plaintext {
-    let vals = plain_values(pseed, slots);
-    backend.ctx.encode(&vals, ct.level())
 }
 
 /// Decrypt (unchecked — the noise guard is the comparison's job), decode,
@@ -524,10 +460,6 @@ fn wire_and_validate(backend: &Backend, ct: &Ciphertext) -> Result<(), String> {
     Ok(())
 }
 
-fn zip_with(a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
-    a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
-}
-
 fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     a.iter()
         .zip(b)
@@ -539,6 +471,7 @@ fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use crate::generate::generate;
+    use bp_ir::Op;
 
     #[test]
     fn word_configs_build_both_chains() {
@@ -551,12 +484,7 @@ mod tests {
 
     #[test]
     fn reference_rotation_matches_library_convention() {
-        let p = Program {
-            seed: 3,
-            word_bits: 28,
-            inputs: 1,
-            ops: vec![Op::Rotate { a: 0, steps: 1 }],
-        };
+        let p = Program::new(3, 28, 1, vec![Op::Rotate { a: 0, steps: 1 }]);
         let nodes = reference_run(&p, 8);
         for i in 0..8 {
             assert_eq!(nodes[1][i], nodes[0][(i + 1) % 8]);
@@ -566,12 +494,12 @@ mod tests {
     #[test]
     fn trivial_program_agrees_on_both_backends() {
         let env = OracleEnv::new(28).unwrap();
-        let p = Program {
-            seed: 11,
-            word_bits: 28,
-            inputs: 2,
-            ops: vec![Op::Add { a: 0, b: 1 }, Op::Mul { a: 0, b: 1 }],
-        };
+        let p = Program::new(
+            11,
+            28,
+            2,
+            vec![Op::Add { a: 0, b: 1 }, Op::Mul { a: 0, b: 1 }],
+        );
         assert_eq!(run_program(&env, &p), None);
     }
 
@@ -582,6 +510,126 @@ mod tests {
             let p = generate(seed, 28, env.limits);
             if let Some(d) = run_program(&env, &p) {
                 panic!("seed {seed}: {d}");
+            }
+        }
+    }
+
+    /// Encrypts the program's inputs exactly as [`backend_run`] does.
+    fn encrypt_inputs(backend: &Backend, program: &Program, slots: usize) -> Vec<Ciphertext> {
+        let ctx = &backend.ctx;
+        let mut rng = ChaCha20Rng::seed_from_u64(program.seed ^ 0x0b5e_55ed_c0ff_ee00);
+        (0..program.inputs)
+            .map(|i| {
+                let vals = input_values(program.seed, i, slots);
+                let pt = ctx.encode(&vals, ctx.max_level());
+                ctx.encrypt(&pt, &backend.keys.public, &mut rng)
+            })
+            .collect()
+    }
+
+    /// The pre-IR executor: the per-op-kind match the oracle carried
+    /// before `Evaluator::step_op` existed, kept verbatim as the
+    /// conformance baseline for the interpreter. Returns the wire bytes of
+    /// every node, or the failing node and its error text.
+    fn inline_run(
+        backend: &Backend,
+        program: &Program,
+        slots: usize,
+    ) -> Result<Vec<Vec<u8>>, (usize, String)> {
+        let ctx = &backend.ctx;
+        let ev = ctx.evaluator_with_policy(EvalPolicy::Strict);
+        let ek = &backend.keys.evaluation;
+        let encode_for = |ct: &Ciphertext, pseed: u64| {
+            let vals = plain_values(pseed, slots);
+            ctx.encode(&vals, ct.level())
+        };
+        let mut cts = encrypt_inputs(backend, program, slots);
+        for (k, op) in program.ops.iter().enumerate() {
+            let result = match *op {
+                Op::Add { a, b } => ev.add(&cts[a], &cts[b]),
+                Op::Sub { a, b } => ev.sub(&cts[a], &cts[b]),
+                Op::Mul { a, b } => ev.mul(&cts[a], &cts[b], ek),
+                Op::Square { a } => ev.square(&cts[a], ek),
+                Op::Negate { a } => ev.negate(&cts[a]),
+                Op::Rotate { a, steps } => ev.rotate(&cts[a], steps, ek),
+                Op::Conjugate { a } => ev.conjugate(&cts[a], ek),
+                Op::Rescale { a } => ev.rescale(&cts[a]),
+                Op::Adjust { a, target } => ev.adjust_to(&cts[a], target),
+                Op::AddPlain { a, pseed } => ev.add_plain(&cts[a], &encode_for(&cts[a], pseed)),
+                Op::SubPlain { a, pseed } => ev.sub_plain(&cts[a], &encode_for(&cts[a], pseed)),
+                Op::MulPlain { a, pseed } => ev.mul_plain(&cts[a], &encode_for(&cts[a], pseed)),
+            };
+            match result {
+                Ok(ct) => cts.push(ct),
+                Err(e) => return Err((program.inputs + k, e.to_string())),
+            }
+        }
+        Ok(cts.iter().map(write_ciphertext).collect())
+    }
+
+    /// The IR path: the same inputs through `Evaluator::run_program`.
+    fn interpreter_run(
+        backend: &Backend,
+        program: &Program,
+        slots: usize,
+    ) -> Result<Vec<Vec<u8>>, (usize, String)> {
+        let ev = backend.ctx.evaluator_with_policy(EvalPolicy::Strict);
+        let inputs = encrypt_inputs(backend, program, slots);
+        let mut plain = |pseed: u64, n: usize| plain_values(pseed, n);
+        match ev.run_program(program, inputs, &backend.keys.evaluation, &mut plain) {
+            Ok(run) => Ok(run.nodes().iter().map(write_ciphertext).collect()),
+            Err(bp_ckks::ProgramError::Eval { node, error }) => Err((node, error.to_string())),
+            Err(e) => Err((0, e.to_string())),
+        }
+    }
+
+    fn smoke_seeds() -> u64 {
+        if let Ok(v) = std::env::var("BITPACKER_ORACLE_SMOKE_SEEDS") {
+            return v
+                .parse()
+                .expect("BITPACKER_ORACLE_SMOKE_SEEDS must be a number");
+        }
+        // The acceptance bar is 500 seeds; debug builds run a scaled-down
+        // sweep so `cargo test` stays fast.
+        if cfg!(debug_assertions) {
+            120
+        } else {
+            500
+        }
+    }
+
+    /// The tentpole's conformance criterion: the same IR program produces
+    /// bit-identical ciphertext wire bytes whether executed through the
+    /// historical inline op match or through the `bp-ckks` interpreter,
+    /// on both representations, across a generated-program sweep.
+    #[test]
+    fn interpreter_matches_inline_path_bit_identically() {
+        let env = OracleEnv::new(28).unwrap();
+        let slots = env.slots();
+        for seed in 0..smoke_seeds() {
+            let program = generate(seed, 28, env.limits);
+            for backend in [&env.bitpacker, &env.rns] {
+                let old = inline_run(backend, &program, slots);
+                let new = interpreter_run(backend, &program, slots);
+                match (old, new) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.len(), b.len(), "seed {seed} {}", backend.name);
+                        for (node, (x, y)) in a.iter().zip(&b).enumerate() {
+                            assert_eq!(
+                                x, y,
+                                "seed {seed} {}: node {node} wire bytes differ",
+                                backend.name
+                            );
+                        }
+                    }
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a, b, "seed {seed} {}: errors differ", backend.name)
+                    }
+                    (old, new) => panic!(
+                        "seed {seed} {}: paths disagree on success: inline={old:?} ir={new:?}",
+                        backend.name
+                    ),
+                }
             }
         }
     }

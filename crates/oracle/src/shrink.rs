@@ -19,7 +19,7 @@
 //! the original input count but usually a single-digit op count.
 
 use crate::exec::{run_program, Divergence, OracleEnv};
-use crate::program::Program;
+use bp_ir::Program;
 
 /// Upper bound on candidate executions during shrinking, so a pathological
 /// program can't stall the fuzz loop.
@@ -92,7 +92,8 @@ fn check(env: &OracleEnv, candidate: &Program, runs: &mut usize) -> Option<Diver
     run_program(env, candidate)
 }
 
-/// Drops every op whose result node comes after `node`.
+/// Drops every op whose result node comes after `node`, together with any
+/// named outputs that pointed past the new end.
 fn truncate_at(program: &Program, node: usize) -> Option<Program> {
     let keep_ops = node.saturating_sub(program.inputs) + 1;
     if keep_ops >= program.ops.len() {
@@ -100,6 +101,8 @@ fn truncate_at(program: &Program, node: usize) -> Option<Program> {
     }
     let mut p = program.clone();
     p.ops.truncate(keep_ops);
+    let kept_nodes = p.num_nodes();
+    p.outputs.retain(|o| o.node < kept_nodes);
     Some(p)
 }
 
@@ -138,26 +141,27 @@ fn delete_cone(program: &Program, k: usize) -> Option<Program> {
         .filter(|&(j, _)| keep[inputs + j])
         .map(|(_, op)| op.remap(|i| map[i]))
         .collect();
-    Some(Program {
-        seed: program.seed,
-        word_bits: program.word_bits,
-        inputs,
-        ops,
-    })
+    let mut p = Program::new(program.seed, program.word_bits, inputs, ops);
+    // Named outputs survive only while the node they point at does.
+    p.outputs = program
+        .outputs
+        .iter()
+        .filter(|o| keep[o.node])
+        .map(|o| bp_ir::Output {
+            name: o.name.clone(),
+            node: map[o.node],
+        })
+        .collect();
+    Some(p)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::program::Op;
+    use bp_ir::Op;
 
     fn prog(ops: Vec<Op>) -> Program {
-        Program {
-            seed: 1,
-            word_bits: 28,
-            inputs: 2,
-            ops,
-        }
+        Program::new(1, 28, 2, ops)
     }
 
     #[test]

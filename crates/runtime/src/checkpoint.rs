@@ -13,9 +13,16 @@
 //!
 //! ```text
 //! "BPCK" | version u16 | workload: len u32 + bytes | step u64
+//!        | program_pos: flag u8 (+ pos u64 when 1)          [version ≥ 2]
 //!        | slot_count u32 | { name: len u32 + bytes, data: len u32 + bytes }*
 //!        | fnv1a64 over everything above: u64
 //! ```
+//!
+//! Version 2 adds `program_pos`: when the job executes a [`bp_ir::Program`]
+//! (see [`crate::Runtime::run_program`]), the checkpoint records the exact
+//! op position so resume is "continue at `ops[pos]`" rather than a
+//! workload-specific step convention. Version-1 streams are still read;
+//! they decode with `program_pos = None`.
 
 use bp_ckks::wire::{read_ciphertext, write_ciphertext, WireError};
 use bp_ckks::{Ciphertext, CkksContext};
@@ -23,8 +30,9 @@ use std::fmt;
 
 /// File magic for checkpoints ("BPCK").
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"BPCK";
-/// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u16 = 1;
+/// Current checkpoint format version (writes are always this version;
+/// reads accept every version back to 1).
+pub const CHECKPOINT_VERSION: u16 = 2;
 
 /// Why a checkpoint could not be decoded or restored.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,7 +106,7 @@ impl fmt::Display for CheckpointError {
             }
             CheckpointError::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported checkpoint version {found} (this build reads {CHECKPOINT_VERSION})"
+                "unsupported checkpoint version {found} (this build reads 1..={CHECKPOINT_VERSION})"
             ),
             CheckpointError::ChecksumMismatch { stored, computed } => write!(
                 f,
@@ -129,6 +137,7 @@ impl std::error::Error for CheckpointError {
 pub struct Checkpoint {
     workload: String,
     step: u64,
+    program_pos: Option<u64>,
     slots: Vec<(String, Vec<u8>)>,
 }
 
@@ -138,6 +147,7 @@ impl Checkpoint {
         Self {
             workload: workload.to_string(),
             step,
+            program_pos: None,
             slots: Vec::new(),
         }
     }
@@ -150,6 +160,18 @@ impl Checkpoint {
     /// Step counter recorded at snapshot time (e.g. completed epochs).
     pub fn step(&self) -> u64 {
         self.step
+    }
+
+    /// The IR op position this snapshot was taken at: `ops[..pos]` of the
+    /// job's [`bp_ir::Program`] are complete, `ops[pos]` is next. `None`
+    /// for non-program jobs and for version-1 streams.
+    pub fn program_pos(&self) -> Option<u64> {
+        self.program_pos
+    }
+
+    /// Records the IR op position (see [`Checkpoint::program_pos`]).
+    pub fn set_program_pos(&mut self, pos: u64) {
+        self.program_pos = Some(pos);
     }
 
     /// Names of the stored ciphertext slots, in insertion order.
@@ -199,6 +221,13 @@ impl Checkpoint {
         out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
         put_bytes(&mut out, self.workload.as_bytes());
         out.extend_from_slice(&self.step.to_le_bytes());
+        match self.program_pos {
+            Some(pos) => {
+                out.push(1);
+                out.extend_from_slice(&pos.to_le_bytes());
+            }
+            None => out.push(0),
+        }
         out.extend_from_slice(&(self.slots.len() as u32).to_le_bytes());
         for (name, data) in &self.slots {
             put_bytes(&mut out, name.as_bytes());
@@ -251,7 +280,7 @@ impl Checkpoint {
                 .try_into()
                 .expect("take(2) yields exactly 2 bytes"),
         );
-        if version != CHECKPOINT_VERSION {
+        if version == 0 || version > CHECKPOINT_VERSION {
             return Err(CheckpointError::UnsupportedVersion { found: version });
         }
         let workload = String::from_utf8(r.take_prefixed()?.to_vec())
@@ -261,6 +290,20 @@ impl Checkpoint {
                 .try_into()
                 .expect("take(8) yields exactly 8 bytes"),
         );
+        // program_pos was added in version 2; v1 streams simply lack it.
+        let program_pos = if version >= 2 {
+            match r.take(1)?[0] {
+                0 => None,
+                1 => Some(u64::from_le_bytes(
+                    r.take(8)?
+                        .try_into()
+                        .expect("take(8) yields exactly 8 bytes"),
+                )),
+                _ => return Err(CheckpointError::Malformed("program_pos flag is not 0 or 1")),
+            }
+        } else {
+            None
+        };
         let slot_count = u32::from_le_bytes(
             r.take(4)?
                 .try_into()
@@ -281,6 +324,7 @@ impl Checkpoint {
         Ok(Self {
             workload,
             step,
+            program_pos,
             slots,
         })
     }
@@ -403,6 +447,33 @@ mod tests {
             name: "nope".into(),
         };
         assert!(!missing.is_transient());
+    }
+
+    #[test]
+    fn program_pos_roundtrips_and_v1_streams_still_decode() {
+        let mut cp = sample();
+        cp.set_program_pos(17);
+        let back = Checkpoint::from_bytes(&cp.to_bytes()).expect("v2 roundtrip");
+        assert_eq!(back.program_pos(), Some(17));
+        assert_eq!(back, cp);
+
+        // Hand-build the version-1 layout (no program_pos field): it must
+        // still decode, with the position absent.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&CHECKPOINT_MAGIC);
+        v1.extend_from_slice(&1u16.to_le_bytes());
+        put_bytes(&mut v1, b"logreg");
+        v1.extend_from_slice(&3u64.to_le_bytes());
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        put_bytes(&mut v1, b"w");
+        put_bytes(&mut v1, &[1, 2, 3, 4]);
+        let sum = fnv1a64(&v1);
+        v1.extend_from_slice(&sum.to_le_bytes());
+        let old = Checkpoint::from_bytes(&v1).expect("v1 stream decodes");
+        assert_eq!(old.workload(), "logreg");
+        assert_eq!(old.step(), 3);
+        assert_eq!(old.program_pos(), None);
+        assert_eq!(old.slot_bytes("w"), Some(&[1u8, 2, 3, 4][..]));
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub enum RuntimeError {
         /// The final attempt's error.
         last: Box<RuntimeError>,
     },
+    /// The job was asked to execute an IR program it cannot: the spec
+    /// carries none, the program fails structural/level validation, or
+    /// the supplied inputs do not match its declared input count.
+    InvalidProgram {
+        /// What was wrong.
+        reason: String,
+    },
     /// An evaluation error surfaced by the job body.
     Eval(EvalError),
     /// A wire (de)serialization error surfaced by the job body.
@@ -69,6 +76,7 @@ impl RuntimeError {
             | RuntimeError::DeadlineExceeded
             | RuntimeError::Cancelled
             | RuntimeError::CircuitOpen { .. }
+            | RuntimeError::InvalidProgram { .. }
             | RuntimeError::RetriesExhausted { .. } => false,
         }
     }
@@ -93,6 +101,7 @@ impl fmt::Display for RuntimeError {
                 f,
                 "workload '{workload}' failed after {attempts} attempts; last error: {last}"
             ),
+            RuntimeError::InvalidProgram { reason } => write!(f, "invalid IR program: {reason}"),
             RuntimeError::Eval(e) => write!(f, "evaluation failed: {e}"),
             RuntimeError::Wire(e) => write!(f, "wire format error: {e}"),
             RuntimeError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),

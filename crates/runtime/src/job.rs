@@ -21,6 +21,7 @@
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::error::RuntimeError;
 use bp_ckks::{BpThreadPool, CancelReason, CancelToken, EvalPolicy};
+use bp_ir::Program;
 use bp_telemetry::counters::{self, Counter};
 use bp_telemetry::events::{self, BreakerPhase, DegradeKind, Event};
 use std::collections::HashMap;
@@ -99,13 +100,29 @@ impl Degradation {
 }
 
 /// A supervised job description.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct JobSpec {
     workload: String,
     deadline: Option<Duration>,
     token: Option<CancelToken>,
     retry: RetryPolicy,
     degrade: DegradePolicy,
+    program: Option<Arc<Program>>,
+    checkpoint_every: usize,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self {
+            workload: String::new(),
+            deadline: None,
+            token: None,
+            retry: RetryPolicy::default(),
+            degrade: DegradePolicy::default(),
+            program: None,
+            checkpoint_every: 1,
+        }
+    }
 }
 
 impl JobSpec {
@@ -143,9 +160,36 @@ impl JobSpec {
         self
     }
 
+    /// Attaches the IR program this job executes. Required by
+    /// [`Runtime::run_program`]; also surfaced to plain [`Runtime::run`]
+    /// bodies through [`JobCtx::program`].
+    pub fn program(mut self, program: Arc<Program>) -> Self {
+        self.program = Some(program);
+        self
+    }
+
+    /// Checkpoint cadence for [`Runtime::run_program`]: snapshot after
+    /// every `every`-th op (1 = after each op, the default; 0 disables
+    /// checkpointing). A snapshot is always taken after the final op when
+    /// checkpointing is enabled.
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
     /// Workload key (breaker partition and telemetry tag).
     pub fn workload_key(&self) -> &str {
         &self.workload
+    }
+
+    /// The attached IR program, if any.
+    pub fn program_ref(&self) -> Option<&Arc<Program>> {
+        self.program.as_ref()
+    }
+
+    /// The checkpoint cadence (see [`JobSpec::checkpoint_every`]).
+    pub fn checkpoint_interval(&self) -> usize {
+        self.checkpoint_every
     }
 }
 
@@ -156,6 +200,7 @@ pub struct JobCtx {
     attempt: u32,
     degradation: Degradation,
     threads: Arc<BpThreadPool>,
+    program: Option<Arc<Program>>,
 }
 
 impl JobCtx {
@@ -189,6 +234,12 @@ impl JobCtx {
     /// ([`bp_ckks::CkksContext::with_threads`]).
     pub fn threads(&self) -> &Arc<BpThreadPool> {
         &self.threads
+    }
+
+    /// The IR program attached to the job spec, if any (the position
+    /// vocabulary for [`crate::Checkpoint::program_pos`]).
+    pub fn program(&self) -> Option<&Program> {
+        self.program.as_deref()
     }
 
     /// Explicit cancellation check for job-side loops between evaluator
@@ -307,6 +358,7 @@ impl Runtime {
                 attempt,
                 degradation: Degradation::for_attempt(attempt, &spec.degrade),
                 threads: self.threads.clone(),
+                program: spec.program.clone(),
             };
             match catch_unwind(AssertUnwindSafe(|| job(&ctx))) {
                 Err(payload) => {

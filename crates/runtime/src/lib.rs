@@ -19,6 +19,12 @@
 //!   ciphertexts (exact scales and chain positions preserved via the
 //!   `bp-ckks` wire format) so long evaluations resume bit-identically
 //!   after a kill.
+//! * [`Runtime::run_program`] — supervised execution of a
+//!   [`bp_ir::Program`] attached to the [`JobSpec`], checkpointing an
+//!   **exact program position** ([`Checkpoint::program_pos`]) plus the
+//!   live node set after each op, and resuming from the latest snapshot
+//!   on retry — through the same `Evaluator::step_op` dispatch every
+//!   other IR consumer uses.
 //! * [`RuntimeError`] — the terminal-state taxonomy: every submitted job
 //!   ends in exactly one typed outcome, and
 //!   [`RuntimeError::is_transient`] is the retry contract.
@@ -54,9 +60,11 @@ pub mod breaker;
 pub mod checkpoint;
 mod error;
 mod job;
+mod program;
 
 pub use bp_ckks::{BpThreadPool, CancelReason, CancelToken};
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use error::RuntimeError;
 pub use job::{Degradation, DegradePolicy, JobCtx, JobSpec, RetryPolicy, Runtime};
+pub use program::{CheckpointStore, MemoryStore, ProgramOutcome};

@@ -393,6 +393,7 @@ mod tests {
                 clear_bits: 0.0,
                 scale_log2: 0.0,
                 log_q,
+                ir_op: None,
             },
         };
         let trace = EvalTrace {

@@ -14,8 +14,9 @@
 //!   noise/scale snapshots and evaluator repair events,
 //! * [`trace`] — the [`trace::EvalTrace`] op-trace recorder whose JSON
 //!   form replays through `bp-accel` for a predicted cycle/energy report,
-//! * [`json`] — the dependency-free JSON reader/writer used by the trace
-//!   codec and the bench metadata headers,
+//! * [`json`] — the dependency-free JSON reader/writer (re-exported from
+//!   `bp-ir`, which owns it) used by the trace codec and the bench
+//!   metadata headers,
 //! * [`efficiency`] — bit-utilization accounting: per-op packing
 //!   efficiency `log Q / (R·w)` folded into a per-program
 //!   [`efficiency::EfficiencyReport`] (mean/min/max, wasted-bit
@@ -53,10 +54,11 @@ pub mod counters;
 pub mod efficiency;
 pub mod events;
 pub mod export;
-pub mod json;
 pub mod profile;
 pub mod spans;
 pub mod trace;
+
+pub use bp_ir::json;
 
 /// Environment variable gating recording at runtime when the `enabled`
 /// feature is compiled in. Unset or any value other than `0` / `false` /

@@ -20,87 +20,21 @@ use crate::json::{Json, JsonError, Obj};
 #[cfg(feature = "enabled")]
 use crate::spans::{self, SpanKind};
 
-/// Schema identifier written into serialized traces. `v2` adds the
-/// per-entry `log_q` field (modulus bits in use at the result level);
-/// `v1` documents parse with `log_q = 0`.
-pub const TRACE_SCHEMA: &str = "bitpacker-eval-trace/v2";
+/// Schema identifier written into serialized traces. `v3` adds the
+/// optional per-entry `ir_op` field (the [`bp_ir::Program`] node the op
+/// computed, when the evaluator ran under `run_program`); `v2` adds the
+/// per-entry `log_q` field (modulus bits in use at the result level).
+/// Older documents parse with `ir_op = None` / `log_q = 0`.
+pub const TRACE_SCHEMA: &str = "bitpacker-eval-trace/v3";
 
 /// Maximum entries retained by the global recorder between [`take`]
 /// calls; overflow is counted in [`EvalTrace::dropped`].
 pub const TRACE_CAP: usize = 1 << 20;
 
-/// The public evaluator ops that appear in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum OpKind {
-    /// Ciphertext + ciphertext addition.
-    Add,
-    /// Ciphertext − ciphertext subtraction.
-    Sub,
-    /// Ciphertext negation.
-    Negate,
-    /// Ciphertext + plaintext addition.
-    AddPlain,
-    /// Ciphertext − plaintext subtraction.
-    SubPlain,
-    /// Ciphertext × plaintext multiplication.
-    MulPlain,
-    /// Ciphertext × ciphertext multiplication (with relinearization).
-    Mul,
-    /// Ciphertext squaring (with relinearization).
-    Square,
-    /// Slot rotation (automorphism + keyswitch).
-    Rotate,
-    /// Complex conjugation (automorphism + keyswitch).
-    Conjugate,
-    /// Explicit or repair rescale.
-    Rescale,
-    /// Explicit or repair level adjust (one trace entry per level step).
-    Adjust,
-}
-
-/// Number of op kinds in [`OpKind::ALL`].
-pub const NUM_OP_KINDS: usize = 12;
-
-impl OpKind {
-    /// Every op kind, in stable report order.
-    pub const ALL: [OpKind; NUM_OP_KINDS] = [
-        OpKind::Add,
-        OpKind::Sub,
-        OpKind::Negate,
-        OpKind::AddPlain,
-        OpKind::SubPlain,
-        OpKind::MulPlain,
-        OpKind::Mul,
-        OpKind::Square,
-        OpKind::Rotate,
-        OpKind::Conjugate,
-        OpKind::Rescale,
-        OpKind::Adjust,
-    ];
-
-    /// Stable snake_case name used in reports and JSON.
-    pub fn name(self) -> &'static str {
-        match self {
-            OpKind::Add => "add",
-            OpKind::Sub => "sub",
-            OpKind::Negate => "negate",
-            OpKind::AddPlain => "add_plain",
-            OpKind::SubPlain => "sub_plain",
-            OpKind::MulPlain => "mul_plain",
-            OpKind::Mul => "mul",
-            OpKind::Square => "square",
-            OpKind::Rotate => "rotate",
-            OpKind::Conjugate => "conjugate",
-            OpKind::Rescale => "rescale",
-            OpKind::Adjust => "adjust",
-        }
-    }
-
-    /// Inverse of [`OpKind::name`].
-    pub fn from_name(name: &str) -> Option<OpKind> {
-        OpKind::ALL.iter().copied().find(|k| k.name() == name)
-    }
-}
+// The op vocabulary is owned by `bp-ir` — traces, programs, Prometheus
+// labels, and the accelerator lowering all share `bp_ir::OpKind::name`
+// as the single source of op-name truth.
+pub use bp_ir::{OpKind, NUM_OP_KINDS};
 
 /// One recorded evaluator op, before sequencing.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,6 +67,10 @@ pub struct OpRecord {
     /// numerator of the paper's packing efficiency `log Q / (R·w)`).
     /// 0 for traces recorded before schema v2.
     pub log_q: f64,
+    /// The `bp_ir::Program` node this op computed, when the evaluator
+    /// was executing an IR program via `run_program`. `None` for ad-hoc
+    /// evaluator calls and for traces recorded before schema v3.
+    pub ir_op: Option<u64>,
 }
 
 /// A sequenced [`OpRecord`] inside a trace.
@@ -210,7 +148,7 @@ impl EvalTrace {
             .entries
             .iter()
             .map(|e| {
-                Obj::new()
+                let mut obj = Obj::new()
                     .u64("seq", e.seq)
                     .str("op", e.op.kind.name())
                     .u64("level", e.op.level as u64)
@@ -223,8 +161,11 @@ impl EvalTrace {
                     .f64("noise_bits", e.op.noise_bits)
                     .f64("clear_bits", e.op.clear_bits)
                     .f64("scale_log2", e.op.scale_log2)
-                    .f64("log_q", e.op.log_q)
-                    .build()
+                    .f64("log_q", e.op.log_q);
+                if let Some(node) = e.op.ir_op {
+                    obj = obj.u64("ir_op", node);
+                }
+                obj.build()
             })
             .collect();
         obj.raw("meta", meta)
@@ -303,6 +244,7 @@ impl EvalTrace {
                     clear_bits: e_f64("clear_bits")?,
                     scale_log2: e_f64("scale_log2")?,
                     log_q: e.get("log_q").and_then(Json::as_f64).unwrap_or(0.0),
+                    ir_op: e.get("ir_op").and_then(Json::as_u64),
                 },
             });
         }
@@ -457,6 +399,7 @@ mod tests {
                         clear_bits: 101.5,
                         scale_log2: 80.0,
                         log_q: 140.0,
+                        ir_op: Some(4),
                     },
                 },
                 TraceEntry {
@@ -474,6 +417,7 @@ mod tests {
                         clear_bits: 100.0,
                         scale_log2: 40.0,
                         log_q: 112.0,
+                        ir_op: None,
                     },
                 },
             ],
@@ -501,11 +445,22 @@ mod tests {
     #[test]
     fn v1_traces_without_log_q_parse_with_zero_default() {
         let mut doc = sample_trace().to_json();
-        doc = doc.replace("bitpacker-eval-trace/v2", "bitpacker-eval-trace/v1");
-        doc = doc.replace(",\"log_q\":140", "");
+        doc = doc.replace("bitpacker-eval-trace/v3", "bitpacker-eval-trace/v1");
+        doc = doc.replace(",\"log_q\":140,\"ir_op\":4", "");
         doc = doc.replace(",\"log_q\":112", "");
         let back = EvalTrace::from_json(&doc).expect("v1 parse");
         assert!(back.entries.iter().all(|e| e.op.log_q == 0.0));
+        assert!(back.entries.iter().all(|e| e.op.ir_op.is_none()));
+    }
+
+    #[test]
+    fn v2_traces_without_ir_op_parse_with_none() {
+        let mut doc = sample_trace().to_json();
+        doc = doc.replace("bitpacker-eval-trace/v3", "bitpacker-eval-trace/v2");
+        doc = doc.replace(",\"ir_op\":4", "");
+        let back = EvalTrace::from_json(&doc).expect("v2 parse");
+        assert!(back.entries.iter().all(|e| e.op.ir_op.is_none()));
+        assert_eq!(back.entries[0].op.log_q, 140.0);
     }
 
     #[test]

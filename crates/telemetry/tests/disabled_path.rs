@@ -42,6 +42,7 @@ fn all_reads_are_zero_after_recording_attempts() {
         clear_bits: 1.0,
         scale_log2: 1.0,
         log_q: 56.0,
+        ir_op: None,
     });
     efficiency::record(PackingSample {
         level: 1,

@@ -23,6 +23,7 @@ fn record(kind: OpKind, ns: u64) {
         clear_bits: 90.0,
         scale_log2: 40.0,
         log_q: 81.0,
+        ir_op: None,
     });
 }
 

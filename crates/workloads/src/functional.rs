@@ -8,9 +8,18 @@
 //! structure — plaintext weight multiply, rotate-accumulate, polynomial
 //! activation — on synthetic data, under the *real* library, and compares
 //! against exact `f64` arithmetic.
+//!
+//! The proxy circuits are expressed as [`bp_ir::Program`]s built by
+//! [`proxy_program`]: the same IR document the oracle shrinks, the
+//! runtime checkpoints, and the accelerator model lowers. The exact-`f64`
+//! baseline comes from [`bp_ir::reference::run`] over that program, and
+//! the encrypted run goes through the interpreter
+//! (`bp_ckks::Evaluator::run_program`) — so a precision report exercises
+//! the identical code paths as every other consumer of the IR.
 
 use crate::App;
 use bp_ckks::{CkksContext, CkksParams, Representation, SecurityLevel};
+use bp_ir::{Program, ProgramBuilder};
 use rand::Rng;
 
 /// Precision measurement result: error-free mantissa bits, as reported by
@@ -103,6 +112,73 @@ pub fn run_proxy<R: Rng + ?Sized>(
     run_proxy_in(&proxy_context(app, repr, log_n, levels), app, rng)
 }
 
+/// Builds the layered proxy circuit for `app` as an IR program, plus its
+/// plaintext operand table (`pseed` is an index into the table). Each
+/// layer is: plaintext weight multiply, rotate-accumulate
+/// (convolution/matvec surrogate), a ×0.5 renormalization (as real
+/// pipelines do via batch norm, keeping values in `[-1, 1]` so errors are
+/// comparable across depths), then the application's activation. The
+/// layer loop is statically unrolled against a mirrored level counter
+/// until the remaining depth cannot fit another layer — the same
+/// arithmetic the evaluator performs on the real ciphertext.
+pub fn proxy_program<R: Rng + ?Sized>(
+    app: App,
+    word_bits: u32,
+    max_level: usize,
+    slots: usize,
+    rng: &mut R,
+) -> (Program, Vec<Vec<f64>>) {
+    // Table slot 0 is the renormalization constant; weights follow.
+    let mut plains: Vec<Vec<f64>> = vec![vec![0.5; slots]];
+    const HALF: u64 = 0;
+    let mut b = ProgramBuilder::new(word_bits);
+    let mut x = b.input();
+
+    let activation = activation_for(app);
+    let need = match activation {
+        Activation::Square => 3,   // weights + renorm + square
+        Activation::Cube => 4,     // weights + renorm + two multiplies
+        Activation::DeepPoly => 5, // weights + renorm + repeated squaring
+    };
+    let mut level = max_level;
+    while level >= need {
+        // Weight multiply (plaintext) + rescale.
+        plains.push((0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let w = b.mul_plain(x, (plains.len() - 1) as u64);
+        x = b.rescale(w);
+        level -= 1;
+        // Rotate-accumulate, then halve to renormalize.
+        let rot = b.rotate(x, 1);
+        let sum = b.add(x, rot);
+        let halved = b.mul_plain(sum, HALF);
+        x = b.rescale(halved);
+        level -= 1;
+        // Activation.
+        match activation {
+            Activation::Square | Activation::DeepPoly => {
+                let sq = b.square(x);
+                x = b.rescale(sq);
+                level -= 1;
+                if activation == Activation::DeepPoly && level >= 1 {
+                    let sq2 = b.square(x);
+                    x = b.rescale(sq2);
+                    level -= 1;
+                }
+            }
+            Activation::Cube => {
+                let sq = b.square(x);
+                let sq = b.rescale(sq);
+                let x_adj = b.adjust(x, level - 1);
+                let cube = b.mul(sq, x_adj);
+                x = b.rescale(cube);
+                level -= 2;
+            }
+        }
+    }
+    b.output("y", x);
+    (b.finish(), plains)
+}
+
 /// Runs the layered proxy for `app` under a caller-built context (e.g.
 /// one from [`proxy_context_with_word_bits`]).
 pub fn run_proxy_in<R: Rng + ?Sized>(ctx: &CkksContext, app: App, rng: &mut R) -> PrecisionReport {
@@ -111,107 +187,27 @@ pub fn run_proxy_in<R: Rng + ?Sized>(ctx: &CkksContext, app: App, rng: &mut R) -
     let ev = ctx.evaluator();
     let slots = ctx.params().slots();
 
-    // Synthetic inputs and weights in [-1, 1]; outputs are renormalized
-    // after every layer (as real pipelines do via batch norm) so values
-    // stay in range and errors are comparable across depths.
-    let mut reference: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let mut ct = ctx.encrypt(&ctx.encode(&reference, ctx.max_level()), &keys.public, rng);
+    // Synthetic inputs and weights in [-1, 1].
+    let input: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let (program, plains) =
+        proxy_program(app, ctx.params().word_bits(), ctx.max_level(), slots, rng);
+    let mut plain = |pseed: u64, _slots: usize| plains[pseed as usize].clone();
 
-    let activation = activation_for(app);
-    loop {
-        let need = match activation {
-            Activation::Square => 3,   // weights + renorm + square
-            Activation::Cube => 4,     // weights + renorm + two multiplies
-            Activation::DeepPoly => 5, // weights + renorm + repeated squaring
-        };
-        if ct.level() < need {
-            break;
-        }
-        // Weight multiply (plaintext) + rescale.
-        let weights: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let pw = ctx.encode_at_scale(
-            &weights,
-            ct.level(),
-            ctx.chain().scale_at(ct.level()).clone(),
-        );
-        ct = ev
-            .rescale(&ev.mul_plain(&ct, &pw).expect("matched level and basis"))
-            .expect("level checked above");
-        for (r, w) in reference.iter_mut().zip(&weights) {
-            *r *= w;
-        }
-        // Rotate-accumulate (convolution/matvec surrogate).
-        let rot = ev
-            .rotate(&ct, 1, &keys.evaluation)
-            .expect("rotation key for step 1 generated above");
-        ct = ev
-            .add(&ct, &rot)
-            .expect("rotation preserves level and scale");
-        let shifted: Vec<f64> = (0..slots).map(|i| reference[(i + 1) % slots]).collect();
-        for (r, s) in reference.iter_mut().zip(&shifted) {
-            *r = (*r + s) / 2.0;
-        }
-        // Halve to renormalize (fold the 1/2 into the plaintext constant).
-        let half = ctx.encode_at_scale(
-            &vec![0.5; slots],
-            ct.level(),
-            ctx.chain().scale_at(ct.level()).clone(),
-        );
-        ct = ev
-            .rescale(&ev.mul_plain(&ct, &half).expect("matched level and basis"))
-            .expect("level checked above");
+    // Exact-f64 baseline over the same program.
+    let nodes = bp_ir::reference::run(&program, std::slice::from_ref(&input), &mut plain);
+    let reference = &nodes[program.output_node("y").expect("proxy declares output y")];
 
-        // Activation.
-        match activation {
-            Activation::Square | Activation::DeepPoly => {
-                ct = ev
-                    .rescale(
-                        &ev.mul(&ct, &ct, &keys.evaluation)
-                            .expect("self-mul is aligned"),
-                    )
-                    .expect("level checked above");
-                for r in reference.iter_mut() {
-                    *r = *r * *r;
-                }
-                if activation == Activation::DeepPoly && ct.level() >= 1 {
-                    ct = ev
-                        .rescale(
-                            &ev.mul(&ct, &ct, &keys.evaluation)
-                                .expect("self-mul is aligned"),
-                        )
-                        .expect("level checked above");
-                    for r in reference.iter_mut() {
-                        *r = *r * *r;
-                    }
-                }
-            }
-            Activation::Cube => {
-                let sq = ev
-                    .rescale(
-                        &ev.mul(&ct, &ct, &keys.evaluation)
-                            .expect("self-mul is aligned"),
-                    )
-                    .expect("level checked above");
-                let ct_adj = ev.adjust_to(&ct, sq.level()).expect("adjust goes downward");
-                ct = ev
-                    .rescale(
-                        &ev.mul(&sq, &ct_adj, &keys.evaluation)
-                            .expect("adjusted to match"),
-                    )
-                    .expect("level checked above");
-                for r in reference.iter_mut() {
-                    *r = *r * *r * *r;
-                }
-            }
-        }
-    }
-
+    // Encrypted run through the IR interpreter.
+    let ct = ctx.encrypt(&ctx.encode(&input, ctx.max_level()), &keys.public, rng);
+    let run = ev
+        .run_program(&program, vec![ct], &keys.evaluation, &mut plain)
+        .expect("proxy circuits are hand-aligned for the chain they are built against");
     let got = ctx
-        .decrypt_to_values(&ct, &keys.secret, slots)
+        .decrypt_to_values(run.result(), &keys.secret, slots)
         .expect("proxy depth is chosen to keep noise budget positive");
     let mut max_err = 0f64;
     let mut sum_err = 0f64;
-    for (g, r) in got.iter().zip(&reference) {
+    for (g, r) in got.iter().zip(reference) {
         let e = (g - r).abs();
         max_err = max_err.max(e);
         sum_err += e;
@@ -241,6 +237,33 @@ mod tests {
         );
         assert!(rep.mean_bits >= rep.worst_bits);
         assert_eq!(rep.repairs, 0, "strict-mode proxy must need no repairs");
+    }
+
+    #[test]
+    fn proxy_programs_are_strict_valid_for_their_chains() {
+        // Every app's unrolled circuit must validate against the level
+        // budget of the chain it was built for — the interpreter runs it
+        // under EvalPolicy::Strict with no alignment repairs.
+        for app in App::ALL {
+            let ctx = proxy_context(app, Representation::BitPacker, 8, 6);
+            let mut rng = ChaCha20Rng::seed_from_u64(7);
+            let (program, plains) = proxy_program(
+                app,
+                ctx.params().word_bits(),
+                ctx.max_level(),
+                ctx.params().slots(),
+                &mut rng,
+            );
+            program
+                .validate(&bp_ckks::level_budget(ctx.chain()))
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+            assert!(
+                program.num_nodes() > program.inputs,
+                "{}: circuit unrolled no layers",
+                app.name()
+            );
+            assert!(plains.len() > 1, "{}: no weight layers", app.name());
+        }
     }
 
     #[test]

@@ -22,8 +22,34 @@
 
 pub mod functional;
 
-use bp_accel::{FheOp, TraceContext, TraceOp};
+use bp_accel::{ChainProfile, FheOp, LevelCost, TraceContext, TraceOp};
 use bp_ckks::{ChainError, CkksParams, ModulusChain, Representation, SecurityLevel};
+
+/// Describes a concrete [`ModulusChain`] to the accelerator model's IR
+/// lowering ([`bp_accel::lower_program`]): per-level residue counts and
+/// `l → l-1` transition costs. This is the bridge between the scheme and
+/// accelerator layers — `bp-accel` deliberately has no `bp-ckks`
+/// dependency, so the profile is built here.
+pub fn chain_profile(chain: &ModulusChain) -> ChainProfile {
+    ChainProfile {
+        batched: chain.representation() == Representation::BitPacker,
+        levels: (0..=chain.max_level())
+            .map(|l| LevelCost {
+                residues: chain.residue_count_at(l),
+                shed: if l > 0 {
+                    chain.shed_between(l).len()
+                } else {
+                    0
+                },
+                added: if l > 0 {
+                    chain.added_between(l).len()
+                } else {
+                    0
+                },
+            })
+            .collect(),
+    }
+}
 
 /// The five benchmark applications (paper Sec. 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -455,6 +481,40 @@ mod tests {
         let (trace_s, _) = shallow.trace(&chain_s, al_s);
         let total = |t: &[TraceOp]| t.iter().map(|o| o.count).sum::<f64>();
         assert!(total(&trace) > 1.5 * total(&trace_s));
+    }
+
+    #[test]
+    fn chain_profile_matches_chain_and_feeds_lowering() {
+        let spec = WorkloadSpec {
+            app: App::LogReg,
+            bootstrap: Bootstrap::BS19,
+        };
+        let (chain, _) = spec
+            .build_chain(Representation::BitPacker, 28, SecurityLevel::Bits128)
+            .unwrap();
+        let profile = chain_profile(&chain);
+        assert!(profile.batched);
+        assert_eq!(profile.levels.len(), chain.max_level() + 1);
+        // Residue bookkeeping must be self-consistent: applying level l's
+        // shed/added transition to level l's basis yields level l-1's.
+        for l in 1..=chain.max_level() {
+            let lc = profile.levels[l];
+            assert_eq!(
+                profile.levels[l - 1].residues,
+                lc.residues - lc.shed + lc.added,
+                "level {l} transition inconsistent with the chain"
+            );
+        }
+        // The profile drives IR lowering with the same residue counts the
+        // trace generator reads off the chain directly.
+        let mut b = bp_ir::ProgramBuilder::new(chain.word_bits());
+        let x = b.input();
+        let sq = b.square(x);
+        let r = b.rescale(sq);
+        b.output("y", r);
+        let ops = bp_accel::lower_program(&b.finish(), &profile).expect("one layer fits any chain");
+        let top = chain.residue_count_at(chain.max_level());
+        assert_eq!(ops[0].op, FheOp::HMult { r: top });
     }
 
     #[test]

@@ -66,6 +66,7 @@
 
 pub use bp_accel as accel;
 pub use bp_ckks as ckks;
+pub use bp_ir as ir;
 pub use bp_math as math;
 pub use bp_rns as rns;
 pub use bp_runtime as runtime;
@@ -203,6 +204,7 @@ pub mod prelude {
         Ciphertext, CkksContext, CkksParams, EvalError, EvalPolicy, Evaluator, IntegrityError,
         KeySet, ModulusChain, Plaintext, RepairLog, Representation, SecurityLevel,
     };
+    pub use bp_ir::{Program, ProgramBuilder};
     pub use bp_math::{BigUint, FactoredScale, Modulus};
     pub use bp_rns::{Domain, PrimePool, RnsError, RnsPoly};
     pub use bp_runtime::{Checkpoint, DegradePolicy, JobSpec, RetryPolicy, Runtime, RuntimeError};
